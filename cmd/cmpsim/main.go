@@ -1,0 +1,110 @@
+// Command cmpsim runs a single CMP simulation and prints its metrics.
+//
+// Usage:
+//
+//	cmpsim -bench zeus -cores 8 -compress -prefetch -adaptive \
+//	       -instr 300000 -warmup 300000 -bw 20 -seed 1
+//
+// -bw 0 models infinite pin bandwidth (the paper's bandwidth-demand
+// measurement mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cmpsim/internal/coherence"
+	"cmpsim/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmpsim: ")
+
+	var (
+		bench    = flag.String("bench", "zeus", "benchmark: one of apache zeus oltp jbb art apsi fma3d mgrid")
+		cores    = flag.Int("cores", 8, "number of processor cores")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		instr    = flag.Uint64("instr", 300_000, "measured instructions per core")
+		warmup   = flag.Uint64("warmup", 300_000, "warmup instructions per core")
+		cacheC   = flag.Bool("cache-compress", false, "enable L2 cache compression")
+		linkC    = flag.Bool("link-compress", false, "enable link compression")
+		compress = flag.Bool("compress", false, "enable both cache and link compression")
+		pf       = flag.Bool("prefetch", false, "enable stride prefetching")
+		adaptive = flag.Bool("adaptive", false, "enable adaptive prefetch throttling")
+		bwGBps   = flag.Float64("bw", 20, "pin bandwidth in GB/s (0 = infinite)")
+		l2MB     = flag.Int("l2mb", 4, "shared L2 size in MB")
+		pfKind   = flag.String("pf-kind", "stride", "prefetcher: stride (paper) or sequential (baseline)")
+		l1depth  = flag.Int("l1depth", 0, "override L1 startup prefetch depth (0 = paper default 6)")
+		l2depth  = flag.Int("l2depth", 0, "override L2 startup prefetch depth (0 = paper default 25)")
+		verbose  = flag.Bool("v", false, "print the full metric breakdown")
+	)
+	flag.Parse()
+
+	cfg := sim.NewConfig(*bench)
+	cfg.Cores = *cores
+	cfg.Seed = *seed
+	cfg.MeasureInstr = *instr
+	cfg.WarmupInstr = *warmup
+	cfg.CacheCompression = *cacheC || *compress
+	cfg.LinkCompression = *linkC || *compress
+	cfg.Prefetching = *pf || *adaptive
+	cfg.AdaptivePrefetch = *adaptive
+	cfg.L2Bytes = *l2MB << 20
+	cfg.L1PrefetchDepth = *l1depth
+	cfg.L2PrefetchDepth = *l2depth
+	if *pfKind != "stride" {
+		cfg.PrefetcherKind = *pfKind
+	}
+	cfg.Memory.LinkBytesPerCycle = *bwGBps / cfg.ClockGHz
+
+	m, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printMetrics(os.Stdout, m, *verbose)
+}
+
+func printMetrics(w *os.File, m sim.Metrics, verbose bool) {
+	fmt.Fprintf(w, "benchmark      %s (%s, %d cores, seed %d)\n", m.Benchmark, m.Label, m.Cores, m.Seed)
+	fmt.Fprintf(w, "instructions   %d\n", m.Instructions)
+	fmt.Fprintf(w, "runtime        %.0f cycles (%.3g s at 5 GHz)\n", m.Cycles, m.Seconds)
+	fmt.Fprintf(w, "IPC            %.3f aggregate (%.3f per core)\n", m.IPC, m.IPC/float64(m.Cores))
+	fmt.Fprintf(w, "L2             %d accesses, %d misses (%.1f%%, %.2f per KI)\n",
+		m.L2Accesses, m.L2Misses, m.L2MissRate*100, m.L2MissesPerKI)
+	fmt.Fprintf(w, "bandwidth      %.2f GB/s demand, %.0f%% link utilization\n",
+		m.BandwidthGBps, m.LinkUtilization*100)
+	fmt.Fprintf(w, "compression    ratio %.2f (effective %.2f MB), %d compressed hits\n",
+		m.CompressionRatio, m.EffectiveL2Bytes/(1<<20), m.L2CompressedHits)
+	if verbose {
+		fmt.Fprintf(w, "L1I            %d accesses, %d misses (%.2f%%)\n",
+			m.L1IAccesses, m.L1IMisses, pct(m.L1IMisses, m.L1IAccesses))
+		fmt.Fprintf(w, "L1D            %d accesses, %d misses (%.2f%%)\n",
+			m.L1DAccesses, m.L1DMisses, pct(m.L1DMisses, m.L1DAccesses))
+		fmt.Fprintf(w, "mem            %d fetches, %d writebacks, %d bytes\n",
+			m.MemFetches, m.MemWritebacks, m.OffChipBytes)
+		fmt.Fprintf(w, "queueing       link %.0f cycles, DRAM %.0f cycles (cumulative)\n",
+			m.LinkQueueDelay, m.DRAMQueueDelay)
+		fmt.Fprintf(w, "coherence      %d upgrades, %d dirty forwards, %d invalidations\n",
+			m.StoreUpgrades, m.DirtyForwards, m.Invalidations)
+		fmt.Fprintf(w, "mean L2 hit    %.2f cycles\n", m.MeanL2HitLatency)
+		for _, src := range []coherence.PfSource{coherence.PfL1I, coherence.PfL1D, coherence.PfL2} {
+			e := m.Engine(src)
+			fmt.Fprintf(w, "pf %-4s        rate %.2f/KI  coverage %.1f%%  accuracy %.1f%%  (issued %d, hits %d, partial %d, redundant %d, streams %d)\n",
+				src, e.RatePer1000(m.Instructions), e.Coverage()*100, e.Accuracy()*100,
+				e.Prefetches, e.PrefetchHits, e.PartialHits, e.Redundant, e.StreamAllocs)
+		}
+		fmt.Fprintf(w, "adaptive       useful %d, useless %d, harmful %d; final caps L1I %.1f L1D %.1f L2 %d\n",
+			m.Adaptive.Useful, m.Adaptive.Useless, m.Adaptive.Harmful,
+			m.Adaptive.FinalCapL1I, m.Adaptive.FinalCapL1D, m.Adaptive.FinalCapL2)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

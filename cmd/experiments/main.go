@@ -1,0 +1,189 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments                      # run everything (slow: full warmups)
+//	experiments -run table5 -quick   # one experiment, scaled-down runs
+//	experiments -list
+//
+// Experiments: table3 fig3 fig4 fig5 table4 fig6 fig7 fig8 table5 fig10
+// fig11 fig1 fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run    = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+		quick  = flag.Bool("quick", false, "scaled-down runs (fast, noisier)")
+		seeds  = flag.Int("seeds", 0, "override seeds per data point")
+		list   = flag.Bool("list", false, "list experiment names and exit")
+		format = flag.String("format", "text", "output format: text, json or csv (csv where supported)")
+	)
+	flag.Parse()
+	outFormat = *format
+
+	o := core.DefaultOptions()
+	if *quick {
+		o = core.QuickOptions()
+	}
+	if *seeds > 0 {
+		o.Seeds = *seeds
+	}
+
+	all := experimentTable(o)
+	if *list {
+		var names []string
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, " "))
+		return
+	}
+
+	var selected []string
+	if *run == "all" {
+		for n := range all {
+			selected = append(selected, n)
+		}
+		sort.Strings(selected)
+	} else {
+		selected = strings.Split(*run, ",")
+	}
+	for _, name := range selected {
+		fn, ok := all[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", name)
+		}
+		start := time.Now()
+		fn()
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Second))
+		fmt.Println()
+	}
+}
+
+// outFormat selects text (paper-style tables), json, or csv output.
+var outFormat = "text"
+
+// emit renders rows in the selected format, falling back to the
+// text renderer when no structured encoding applies.
+func emit(text func(), rows any, csvFn func() error) {
+	switch outFormat {
+	case "json":
+		if err := report.WriteJSON(os.Stdout, rows); err != nil {
+			log.Fatal(err)
+		}
+	case "csv":
+		if csvFn != nil {
+			if err := csvFn(); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fallthrough
+	default:
+		text()
+	}
+}
+
+// experimentTable maps experiment names to runners that print results.
+func experimentTable(o core.Options) map[string]func() {
+	benches := core.Benchmarks()
+	w := os.Stdout
+	var comprRows func() []core.CompressionRow
+	{
+		var cached []core.CompressionRow
+		comprRows = func() []core.CompressionRow {
+			if cached == nil {
+				cached = core.CompressionStudy(benches, o)
+			}
+			return cached
+		}
+	}
+	var interRows func() []core.InteractionRow
+	{
+		var cached []core.InteractionRow
+		interRows = func() []core.InteractionRow {
+			if cached == nil {
+				cached = core.InteractionStudy(benches, o)
+			}
+			return cached
+		}
+	}
+	coreCounts := []int{1, 2, 4, 8, 16}
+	return map[string]func(){
+		"table3": func() {
+			rows := comprRows()
+			emit(func() { report.Table3(w, rows) }, rows, func() error { return report.CompressionCSV(w, rows) })
+		},
+		"fig3": func() {
+			rows := comprRows()
+			emit(func() { report.Fig3(w, rows) }, rows, func() error { return report.CompressionCSV(w, rows) })
+		},
+		"fig4": func() {
+			rows := core.BandwidthStudy(benches, o)
+			emit(func() { report.Fig4(w, rows) }, rows, nil)
+		},
+		"fig5": func() {
+			rows := comprRows()
+			emit(func() { report.Fig5(w, rows) }, rows, func() error { return report.CompressionCSV(w, rows) })
+		},
+		"table4": func() {
+			rows := core.PrefetchProperties(benches, o)
+			emit(func() { report.Table4(w, rows) }, rows, nil)
+		},
+		"fig6": func() {
+			rows := core.PrefetchStudy(benches, o)
+			emit(func() { report.Fig6(w, rows) }, rows, nil)
+		},
+		"fig7": func() {
+			rows := interRows()
+			emit(func() { report.Fig7(w, rows) }, rows, func() error { return report.InteractionCSV(w, rows) })
+		},
+		"fig8": func() {
+			rows := core.MissClassification(benches, o)
+			emit(func() { report.Fig8(w, rows) }, rows, nil)
+		},
+		"table5": func() {
+			rows := interRows()
+			emit(func() { report.Table5(w, rows) }, rows, func() error { return report.InteractionCSV(w, rows) })
+		},
+		"fig10": func() {
+			rows := core.AdaptiveStudy(core.CommercialBenchmarks(), o)
+			emit(func() { report.Fig10(w, rows) }, rows, nil)
+		},
+		"fig11": func() {
+			rows := core.BandwidthSweep(benches, []int{10, 20, 40, 80}, o)
+			emit(func() { report.Fig11(w, rows) }, rows, func() error { return report.BandwidthSweepCSV(w, rows) })
+		},
+		"fig1": func() {
+			rows := core.CoreSweep("zeus", coreCounts, o)
+			emit(func() { report.CoreSweep(w, "Figure 1 (zeus)", rows) }, rows, func() error { return report.CoreSweepCSV(w, rows) })
+		},
+		"fig12": func() {
+			ra := core.CoreSweep("apache", coreCounts, o)
+			rj := core.CoreSweep("jbb", coreCounts, o)
+			emit(func() {
+				report.CoreSweep(w, "Figure 12 (apache)", ra)
+				report.CoreSweep(w, "Figure 12 (jbb)", rj)
+			}, append(append([]core.CoreSweepRow{}, ra...), rj...), func() error {
+				return report.CoreSweepCSV(w, append(append([]core.CoreSweepRow{}, ra...), rj...))
+			})
+		},
+	}
+}

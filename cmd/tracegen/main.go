@@ -1,0 +1,109 @@
+// Command tracegen records a synthetic benchmark's reference stream to
+// a compact trace file, or inspects an existing trace.
+//
+//	tracegen -bench oltp -core 0 -seed 1 -n 1000000 -o oltp.trace
+//	tracegen -inspect oltp.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cmpsim/internal/coherence"
+	"cmpsim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		bench   = flag.String("bench", "zeus", "benchmark to record")
+		core    = flag.Int("core", 0, "core whose stream to record")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		n       = flag.Int("n", 1_000_000, "references to record")
+		out     = flag.String("o", "", "output file (default <bench>-<core>.trace)")
+		inspect = flag.String("inspect", "", "print a summary of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%d.trace", *bench, *core)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.Record(f, p, *core, *seed, *n); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %s: %d refs, %d bytes (%.2f bytes/ref)\n",
+		path, *n, st.Size(), float64(st.Size())/float64(*n))
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		return err
+	}
+	var r workload.Ref
+	var loads, stores, ifetches, blocking, instr uint64
+	for {
+		if err := tr.Next(&r); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		instr += uint64(r.Gap)
+		switch r.Kind {
+		case coherence.Load:
+			loads++
+			if r.Blocking {
+				blocking++
+			}
+		case coherence.Store:
+			stores++
+		case coherence.IFetch:
+			ifetches++
+		}
+	}
+	total := loads + stores + ifetches
+	fmt.Printf("benchmark    %s\n", tr.Benchmark)
+	fmt.Printf("references   %d (%d loads, %d stores, %d ifetches)\n",
+		total, loads, stores, ifetches)
+	fmt.Printf("instructions %d (%.1f refs per 1000)\n",
+		instr, float64(total)*1000/float64(max(instr, 1)))
+	if loads > 0 {
+		fmt.Printf("blocking     %.1f%% of loads\n", float64(blocking)*100/float64(loads))
+	}
+	return nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

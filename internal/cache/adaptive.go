@@ -1,0 +1,104 @@
+package cache
+
+// AdaptivePolicy is the adaptive compression policy of Alameldeen &
+// Wood's ISCA 2004 paper, which the HPCA 2007 study also implements:
+// a single global saturating counter weighs compression's benefit
+// (misses avoided because a line was reachable only thanks to the
+// extra effective capacity) against its cost (decompression latency on
+// hits to compressed lines that would have been hits anyway).
+//
+// Classification uses the compressed cache's LRU stack position:
+//
+//   - A hit to a line at a stack depth the *uncompressed* cache would
+//     also have held (depth < uncompressed ways) gains nothing from
+//     compression; if the line is stored compressed, the 5-cycle
+//     decompression penalty was pure cost: counter -= penalty.
+//   - A hit to a line deeper than the uncompressed associativity is a
+//     miss avoided by compression: the benefit is one memory access:
+//     counter += memory latency.
+//
+// When the counter is positive the cache compresses compressible fills;
+// when negative, new fills are stored uncompressed. The HPCA 2007 paper
+// notes that for every workload it studied the policy converged to
+// "always compress"; the unit tests exercise both regimes.
+type AdaptivePolicy struct {
+	counter int64
+	max     int64
+
+	// DecompressionPenalty and MemoryLatency weight the two event kinds.
+	DecompressionPenalty int64
+	MemoryLatency        int64
+
+	// UncompressedWays is the associativity the baseline uncompressed
+	// cache would have (the paper's compressed sets hold 4 uncompressed
+	// lines, so depths 0..3 would hit either way).
+	UncompressedWays int
+
+	// Event counts, for analysis.
+	PenalizedHits uint64 // hits that paid decompression for nothing
+	AvoidedMisses uint64 // hits only compression made possible
+}
+
+// NewAdaptivePolicy returns the ISCA 2004 policy with the paper's
+// weights: 5-cycle decompression penalty, 400-cycle memory latency, and
+// a counter saturating at ±max (the paper uses a large saturating
+// counter so a phase change must accumulate evidence).
+func NewAdaptivePolicy() *AdaptivePolicy {
+	return &AdaptivePolicy{
+		max:                  1 << 20,
+		DecompressionPenalty: 5,
+		MemoryLatency:        400,
+		UncompressedWays:     4,
+	}
+}
+
+// OnHit classifies an L2 hit: stackDepth is the line's LRU position
+// (0 = MRU) and compressed reports whether it was stored compressed.
+func (p *AdaptivePolicy) OnHit(stackDepth int, compressed bool) {
+	if stackDepth < p.UncompressedWays {
+		// The uncompressed cache would have hit too.
+		if compressed {
+			p.PenalizedHits++
+			p.add(-p.DecompressionPenalty)
+		}
+		return
+	}
+	// Reachable only because compression packed extra lines in.
+	p.AvoidedMisses++
+	p.add(p.MemoryLatency)
+}
+
+func (p *AdaptivePolicy) add(v int64) {
+	p.counter += v
+	if p.counter > p.max {
+		p.counter = p.max
+	}
+	if p.counter < -p.max {
+		p.counter = -p.max
+	}
+}
+
+// ShouldCompress reports the policy's current decision for new fills.
+// Ties (counter zero) compress, matching the papers' bias.
+func (p *AdaptivePolicy) ShouldCompress() bool { return p.counter >= 0 }
+
+// Counter exposes the raw counter for tests and instrumentation.
+func (p *AdaptivePolicy) Counter() int64 { return p.counter }
+
+// StackDepth returns a's current LRU position (0 = MRU) among the valid
+// lines of its set, or -1 when absent. It is the policy's input and is
+// also useful for miss-classification analysis.
+func (c *Compressed) StackDepth(a BlockAddr) int {
+	set := c.sets[c.setIndex(a)]
+	depth := 0
+	for i := range set {
+		if !set[i].Valid {
+			continue
+		}
+		if set[i].Addr == a {
+			return depth
+		}
+		depth++
+	}
+	return -1
+}

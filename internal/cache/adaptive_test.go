@@ -1,0 +1,88 @@
+package cache
+
+import "testing"
+
+func TestPolicyStartsCompressing(t *testing.T) {
+	p := NewAdaptivePolicy()
+	if !p.ShouldCompress() {
+		t.Fatal("fresh policy should compress")
+	}
+}
+
+func TestPenalizedHitsTurnPolicyOff(t *testing.T) {
+	p := NewAdaptivePolicy()
+	// Many shallow hits to compressed lines, no capacity benefit: the
+	// incompressible-workload pattern.
+	for i := 0; i < 10; i++ {
+		p.OnHit(1, true)
+	}
+	if p.ShouldCompress() {
+		t.Fatalf("counter %d: policy should have turned compression off", p.Counter())
+	}
+	if p.PenalizedHits != 10 {
+		t.Fatalf("penalized hits = %d", p.PenalizedHits)
+	}
+}
+
+func TestAvoidedMissesKeepPolicyOn(t *testing.T) {
+	p := NewAdaptivePolicy()
+	// One deep hit outweighs many penalized hits (400 vs 5 per event).
+	for i := 0; i < 50; i++ {
+		p.OnHit(0, true)
+	}
+	p.OnHit(6, true)
+	if !p.ShouldCompress() {
+		t.Fatalf("counter %d: one avoided miss should outweigh 50 penalties", p.Counter())
+	}
+	if p.AvoidedMisses != 1 {
+		t.Fatalf("avoided misses = %d", p.AvoidedMisses)
+	}
+}
+
+func TestShallowUncompressedHitsAreNeutral(t *testing.T) {
+	p := NewAdaptivePolicy()
+	for i := 0; i < 100; i++ {
+		p.OnHit(2, false) // uncompressed shallow hit: no cost, no benefit
+	}
+	if p.Counter() != 0 {
+		t.Fatalf("counter = %d, want 0", p.Counter())
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	p := NewAdaptivePolicy()
+	for i := 0; i < 1<<16; i++ {
+		p.OnHit(7, true)
+	}
+	if p.Counter() != 1<<20 {
+		t.Fatalf("counter = %d, want saturation at %d", p.Counter(), 1<<20)
+	}
+	for i := 0; i < 1<<20; i++ {
+		p.OnHit(0, true)
+	}
+	if p.Counter() != -(1 << 20) {
+		t.Fatalf("counter = %d, want floor", p.Counter())
+	}
+}
+
+func TestStackDepth(t *testing.T) {
+	c := NewCompressed(4*LineBytes, 8, 32)
+	c.Fill(1, 4, false, nil)
+	c.Fill(2, 4, false, nil)
+	c.Fill(3, 4, false, nil)
+	// MRU order: 3, 2, 1.
+	if d := c.StackDepth(3); d != 0 {
+		t.Fatalf("depth(3) = %d", d)
+	}
+	if d := c.StackDepth(1); d != 2 {
+		t.Fatalf("depth(1) = %d", d)
+	}
+	if d := c.StackDepth(99); d != -1 {
+		t.Fatalf("depth(absent) = %d", d)
+	}
+	// Access reorders.
+	c.Access(1)
+	if d := c.StackDepth(1); d != 0 {
+		t.Fatalf("depth(1) after access = %d", d)
+	}
+}

@@ -1,0 +1,344 @@
+// Package cache implements the cache structures of the HPCA 2007
+// compression+prefetching CMP study: conventional set-associative caches
+// (private L1s and the uncompressed shared-L2 baseline) and the decoupled
+// variable-segment compressed cache used for the compressed shared L2.
+//
+// All caches operate on 64-byte block addresses (BlockAddr). They are
+// purely functional state machines: hits, fills, evictions and
+// invalidations mutate tag state and report what happened; all timing is
+// applied by the simulation engine on top of these results.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BlockAddr is a cache-block-aligned address: the byte address divided by
+// the 64-byte line size.
+type BlockAddr uint64
+
+// LineBytes is the cache line size in bytes (fixed by the paper's Table 1).
+const LineBytes = 64
+
+// SegmentBytes is the compressed-cache allocation granule and off-chip
+// flit size.
+const SegmentBytes = 8
+
+// MaxSegs is the size of an uncompressed line in segments.
+const MaxSegs = LineBytes / SegmentBytes
+
+// Line is one cache tag and its metadata. The same structure serves L1s
+// (coherence state in Dirty: M==dirty, S==clean) and the shared L2
+// (Sharers/Owner track on-chip L1 copies; Segs tracks compressed size).
+type Line struct {
+	Addr     BlockAddr
+	Valid    bool
+	Dirty    bool
+	Prefetch bool   // set while a prefetched line is unreferenced (paper §3)
+	PfBy     uint8  // prefetcher that brought the line (0 none; see coherence.PfSource)
+	Segs     uint8  // occupied 8-byte segments, 1..8; 8 = uncompressed
+	Sharers  uint32 // L2 only: bitmask of cores whose L1D holds the line
+	ISharers uint32 // L2 only: bitmask of cores whose L1I holds the line
+	Owner    int8   // L2 only: core holding the line in M state, or -1
+
+	// VictimTag marks an invalid tag that still records the address of
+	// the line that last occupied it (the compressed cache's extra-tag
+	// victim history used for harmful-prefetch detection).
+	VictimTag bool
+}
+
+// reset clears a line to the invalid state but preserves Addr so that
+// invalid tags serve as victim-address history for harmful-prefetch
+// detection (the compressed cache's "extra tags").
+func (ln *Line) reset() {
+	ln.Valid = false
+	ln.Dirty = false
+	ln.Prefetch = false
+	ln.PfBy = 0
+	ln.Segs = 0
+	ln.Sharers = 0
+	ln.ISharers = 0
+	ln.Owner = -1
+	ln.VictimTag = false
+}
+
+// Stats counts the events a cache observes. The simulation engine reads
+// these for miss-rate and prefetch metrics.
+type Stats struct {
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+	Fills        uint64
+	Evictions    uint64
+	DirtyEvicts  uint64
+	PrefetchHits uint64 // first demand reference to a prefetched line
+	UselessPf    uint64 // prefetched lines evicted unreferenced
+	Invals       uint64
+}
+
+// MissRate returns misses per access, or 0 when no accesses occurred.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// SetAssoc is a conventional set-associative write-back cache with true
+// LRU replacement. Each set is ordered most-recently-used first. An
+// optional victim-tag FIFO per set records recently replaced block
+// addresses so the adaptive prefetcher can detect harmful prefetches even
+// without the compressed cache's extra tags (paper §5.4 notes the
+// adaptive algorithm has four extra tags per set when compression is
+// disabled).
+type SetAssoc struct {
+	sets       [][]Line
+	victimTags [][]BlockAddr // per-set FIFO of replaced addresses
+	ways       int
+	setShift   uint
+	setMask    BlockAddr
+	Stats      Stats
+}
+
+// NewSetAssoc builds a cache of totalBytes capacity with the given
+// associativity and 64-byte lines. victimTags extra replaced-address tags
+// are kept per set (0 disables them). totalBytes must give a power-of-two
+// set count.
+func NewSetAssoc(totalBytes, ways, victimTags int) *SetAssoc {
+	if totalBytes <= 0 || ways <= 0 {
+		panic("cache: capacity and ways must be positive")
+	}
+	nsets := totalBytes / (LineBytes * ways)
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", nsets))
+	}
+	c := &SetAssoc{
+		sets:    make([][]Line, nsets),
+		ways:    ways,
+		setMask: BlockAddr(nsets - 1),
+	}
+	backing := make([]Line, nsets*ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+		for w := range c.sets[i] {
+			c.sets[i][w].Owner = -1
+		}
+	}
+	if victimTags > 0 {
+		c.victimTags = make([][]BlockAddr, nsets)
+		for i := range c.victimTags {
+			c.victimTags[i] = make([]BlockAddr, 0, victimTags)
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// CapacityBytes returns the data capacity.
+func (c *SetAssoc) CapacityBytes() int { return len(c.sets) * c.ways * LineBytes }
+
+func (c *SetAssoc) setIndex(a BlockAddr) int { return int(a & c.setMask) }
+
+// Lookup returns the line holding a, or nil, without updating LRU order
+// or statistics. The pointer stays valid until the set is next mutated.
+func (c *SetAssoc) Lookup(a BlockAddr) *Line {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a demand lookup: on a hit the line is moved to MRU
+// position and returned with ok=true; on a miss nil,false is returned.
+// Hit/miss statistics are updated; a hit to a line with its prefetch bit
+// set counts as a prefetch hit and clears the bit (the adaptive
+// prefetcher's "useful prefetch" event, reported via the return).
+func (c *SetAssoc) Access(a BlockAddr) (ln *Line, wasPrefetch bool, ok bool) {
+	c.Stats.Accesses++
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			wasPrefetch = set[i].Prefetch
+			if wasPrefetch {
+				set[i].Prefetch = false
+				c.Stats.PrefetchHits++
+			}
+			c.touch(set, i)
+			c.Stats.Hits++
+			return &set[0], wasPrefetch, true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false, false
+}
+
+// touch moves set[i] to the MRU (front) position.
+func (c *SetAssoc) touch(set []Line, i int) {
+	if i == 0 {
+		return
+	}
+	ln := set[i]
+	copy(set[1:i+1], set[0:i])
+	set[0] = ln
+}
+
+// Touch promotes a to MRU if present, without stats. It reports whether
+// the line was found.
+func (c *SetAssoc) Touch(a BlockAddr) bool {
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			c.touch(set, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts address a at MRU position, evicting the LRU line if the
+// set is full. It returns the victim (Valid=false in the returned copy
+// means nothing was evicted). prefetch marks the inserted line's prefetch
+// bit. The returned inserted pointer is valid until the set mutates.
+func (c *SetAssoc) Fill(a BlockAddr, prefetch bool) (victim Line, inserted *Line) {
+	si := c.setIndex(a)
+	set := c.sets[si]
+	// Refuse duplicate fills: caller must check with Lookup first.
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
+		}
+	}
+	c.Stats.Fills++
+	// Prefer an invalid way; otherwise evict the true LRU (last valid).
+	vi := -1
+	for i := len(set) - 1; i >= 0; i-- {
+		if !set[i].Valid {
+			vi = i
+			break
+		}
+	}
+	if vi == -1 {
+		vi = len(set) - 1
+		victim = set[vi]
+		c.Stats.Evictions++
+		if victim.Dirty {
+			c.Stats.DirtyEvicts++
+		}
+		if victim.Prefetch {
+			c.Stats.UselessPf++
+		}
+		c.recordVictim(si, victim.Addr)
+	}
+	set[vi].reset()
+	set[vi].Addr = a
+	set[vi].Valid = true
+	set[vi].Prefetch = prefetch
+	set[vi].Segs = MaxSegs
+	c.touch(set, vi)
+	return victim, &set[0]
+}
+
+// recordVictim appends a replaced address to the set's victim-tag FIFO.
+func (c *SetAssoc) recordVictim(si int, a BlockAddr) {
+	if c.victimTags == nil {
+		return
+	}
+	vt := c.victimTags[si]
+	if len(vt) == cap(vt) && len(vt) > 0 {
+		copy(vt, vt[1:])
+		vt = vt[:len(vt)-1]
+	}
+	c.victimTags[si] = append(vt, a)
+}
+
+// VictimTagMatch reports whether a appears in the set's victim-address
+// history (FIFO victim tags), and removes it if so. Used by the adaptive
+// prefetcher's harmful-prefetch check on misses.
+func (c *SetAssoc) VictimTagMatch(a BlockAddr) bool {
+	if c.victimTags == nil {
+		return false
+	}
+	si := c.setIndex(a)
+	vt := c.victimTags[si]
+	for i := range vt {
+		if vt[i] == a {
+			c.victimTags[si] = append(vt[:i], vt[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AnyPrefetchInSet reports whether any valid line in a's set has its
+// prefetch bit set (the conservative "victimized by a harmful prefetch"
+// condition of paper §3).
+func (c *SetAssoc) AnyPrefetchInSet(a BlockAddr) bool {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Prefetch {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes a from the cache, returning a copy of the line as
+// it was (Valid=false if it was not present).
+func (c *SetAssoc) Invalidate(a BlockAddr) Line {
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			ln := set[i]
+			c.Stats.Invals++
+			set[i].reset()
+			// Keep Addr for victim-tag purposes of plain caches too.
+			set[i].Addr = a
+			return ln
+		}
+	}
+	return Line{}
+}
+
+// ValidLines returns the number of valid lines currently cached.
+func (c *SetAssoc) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line. Mutating the cache inside
+// fn is not allowed.
+func (c *SetAssoc) ForEachValid(fn func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// checkPow2 panics unless v is a power of two.
+func checkPow2(v int, what string) {
+	if v <= 0 || bits.OnesCount(uint(v)) != 1 {
+		panic(fmt.Sprintf("cache: %s (%d) must be a power of two", what, v))
+	}
+}

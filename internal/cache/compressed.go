@@ -1,0 +1,410 @@
+package cache
+
+import "fmt"
+
+// Compressed is the decoupled variable-segment cache of Alameldeen &
+// Wood: each set has more address tags than uncompressed-line data
+// capacity, and the set's data space is divided into 8-byte segments.
+// A compressed line occupies 1..7 segments, an uncompressed line 8.
+// With the paper's configuration (8 tags, data space for 4 uncompressed
+// lines = 32 segments) compression can at most double the capacity,
+// raising effective associativity from 4-way to 8-way.
+//
+// Invalid tags retain the address of the line that last occupied them,
+// providing the "extra address tags" that the adaptive prefetching
+// mechanism uses to detect harmful prefetches.
+//
+// Note on the paper's parameters: §2 states both "data space for 4
+// uncompressed lines ... 8 address tags" and "64 8-byte segments" per
+// set; the two are inconsistent (4 × 64 B = 32 segments). We follow the
+// capacity statement ("compression can at most double the capacity",
+// "4-way to 8-way"), i.e. 32 segments per set, which also matches the
+// decoupled variable-segment cache of the ISCA 2004 paper.
+type Compressed struct {
+	sets     [][]Line // ordered MRU first; invalid tags keep stale Addr
+	tags     int      // tags per set
+	dataSegs int      // data segments per set
+	setMask  BlockAddr
+	Stats    Stats
+
+	// CompressedHits counts hits to lines stored in fewer than MaxSegs
+	// segments, which incur the decompression penalty.
+	CompressedHits uint64
+	// ExpansionEvicts counts evictions forced by in-place size growth.
+	ExpansionEvicts uint64
+}
+
+// NewCompressed builds a decoupled variable-segment cache with
+// dataBytes of data capacity, tagsPerSet address tags per set and
+// dataSegsPerSet 8-byte data segments per set.
+func NewCompressed(dataBytes, tagsPerSet, dataSegsPerSet int) *Compressed {
+	if tagsPerSet <= 0 || dataSegsPerSet <= 0 {
+		panic("cache: tags and segments per set must be positive")
+	}
+	if dataSegsPerSet < MaxSegs {
+		panic("cache: a set must hold at least one uncompressed line")
+	}
+	nsets := dataBytes / (dataSegsPerSet * SegmentBytes)
+	checkPow2(nsets, "compressed cache set count")
+	c := &Compressed{
+		sets:     make([][]Line, nsets),
+		tags:     tagsPerSet,
+		dataSegs: dataSegsPerSet,
+		setMask:  BlockAddr(nsets - 1),
+	}
+	backing := make([]Line, nsets*tagsPerSet)
+	for i := range c.sets {
+		c.sets[i] = backing[i*tagsPerSet : (i+1)*tagsPerSet : (i+1)*tagsPerSet]
+		for w := range c.sets[i] {
+			c.sets[i][w].Owner = -1
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Compressed) Sets() int { return len(c.sets) }
+
+// TagsPerSet returns the number of address tags per set.
+func (c *Compressed) TagsPerSet() int { return c.tags }
+
+// DataSegsPerSet returns the data capacity of one set in segments.
+func (c *Compressed) DataSegsPerSet() int { return c.dataSegs }
+
+// CapacityBytes returns the physical data capacity.
+func (c *Compressed) CapacityBytes() int {
+	return len(c.sets) * c.dataSegs * SegmentBytes
+}
+
+func (c *Compressed) setIndex(a BlockAddr) int { return int(a & c.setMask) }
+
+// usedSegs returns the segments currently occupied by valid lines in set.
+func usedSegs(set []Line) int {
+	n := 0
+	for i := range set {
+		if set[i].Valid {
+			n += int(set[i].Segs)
+		}
+	}
+	return n
+}
+
+// Lookup returns the valid line for a, or nil, without LRU or stats
+// side effects.
+func (c *Compressed) Lookup(a BlockAddr) *Line {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a demand lookup with LRU update and statistics, as
+// SetAssoc.Access. compressed reports whether the hit line is stored
+// compressed (decompression penalty applies).
+func (c *Compressed) Access(a BlockAddr) (ln *Line, wasPrefetch, compressed, ok bool) {
+	c.Stats.Accesses++
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			wasPrefetch = set[i].Prefetch
+			if wasPrefetch {
+				set[i].Prefetch = false
+				c.Stats.PrefetchHits++
+			}
+			compressed = set[i].Segs < MaxSegs
+			if compressed {
+				c.CompressedHits++
+			}
+			c.touch(set, i)
+			c.Stats.Hits++
+			return &set[0], wasPrefetch, compressed, true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false, false, false
+}
+
+// touch moves set[i] to MRU position.
+func (c *Compressed) touch(set []Line, i int) {
+	if i == 0 {
+		return
+	}
+	ln := set[i]
+	copy(set[1:i+1], set[0:i])
+	set[0] = ln
+}
+
+// Touch promotes a to MRU if present.
+func (c *Compressed) Touch(a BlockAddr) bool {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			c.touch(set, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a occupying segs segments at MRU position. Victims are
+// appended to vbuf (reused to avoid allocation) and returned: the LRU
+// valid lines are evicted until a tag is free and the data space fits.
+// The inserted line pointer is valid until the set next mutates.
+func (c *Compressed) Fill(a BlockAddr, segs uint8, prefetch bool, vbuf []Line) (victims []Line, inserted *Line) {
+	if segs < 1 || segs > MaxSegs {
+		panic(fmt.Sprintf("cache: fill with %d segments", segs))
+	}
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
+		}
+	}
+	c.Stats.Fills++
+	victims = c.makeRoom(set, int(segs), vbuf)
+	// Claim the least-recently-used invalid tag (there is one now).
+	vi := -1
+	for i := len(set) - 1; i >= 0; i-- {
+		if !set[i].Valid {
+			vi = i
+			break
+		}
+	}
+	if vi == -1 {
+		panic("cache: makeRoom left no free tag")
+	}
+	set[vi].reset()
+	set[vi].Addr = a
+	set[vi].Valid = true
+	set[vi].Prefetch = prefetch
+	set[vi].Segs = segs
+	c.touch(set, vi)
+	return victims, &set[0]
+}
+
+// makeRoom evicts LRU valid lines until the set has a free tag and at
+// least need free segments. Evicted lines are appended to vbuf.
+func (c *Compressed) makeRoom(set []Line, need int, vbuf []Line) []Line {
+	for {
+		freeTag := false
+		for i := range set {
+			if !set[i].Valid {
+				freeTag = true
+				break
+			}
+		}
+		if freeTag && c.dataSegs-usedSegs(set) >= need {
+			return vbuf
+		}
+		// Evict the LRU valid line.
+		vi := -1
+		for i := len(set) - 1; i >= 0; i-- {
+			if set[i].Valid {
+				vi = i
+				break
+			}
+		}
+		if vi == -1 {
+			panic("cache: set has no valid line to evict but no room")
+		}
+		victim := set[vi]
+		c.Stats.Evictions++
+		if victim.Dirty {
+			c.Stats.DirtyEvicts++
+		}
+		if victim.Prefetch {
+			c.Stats.UselessPf++
+		}
+		vbuf = append(vbuf, victim)
+		set[vi].reset() // Addr retained: victim tag
+		set[vi].VictimTag = true
+	}
+}
+
+// Resize changes the stored size of a (e.g. a dirty writeback whose new
+// contents compress differently). Growing a line may force evictions of
+// other lines, returned via vbuf. It reports whether a was present.
+func (c *Compressed) Resize(a BlockAddr, segs uint8, vbuf []Line) (victims []Line, found bool) {
+	if segs < 1 || segs > MaxSegs {
+		panic(fmt.Sprintf("cache: resize to %d segments", segs))
+	}
+	si := c.setIndex(a)
+	set := c.sets[si]
+	idx := -1
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return vbuf, false
+	}
+	old := set[idx].Segs
+	if segs <= old {
+		set[idx].Segs = segs
+		return vbuf, true
+	}
+	grow := int(segs - old)
+	victims = vbuf
+	for c.dataSegs-usedSegs(set) < grow {
+		// Evict the LRU valid line other than a itself.
+		vi := -1
+		for i := len(set) - 1; i >= 0; i-- {
+			if set[i].Valid && set[i].Addr != a {
+				vi = i
+				break
+			}
+		}
+		if vi == -1 {
+			// Only a remains; an uncompressed line always fits alone.
+			break
+		}
+		victim := set[vi]
+		c.Stats.Evictions++
+		c.ExpansionEvicts++
+		if victim.Dirty {
+			c.Stats.DirtyEvicts++
+		}
+		if victim.Prefetch {
+			c.Stats.UselessPf++
+		}
+		victims = append(victims, victim)
+		set[vi].reset()
+		set[vi].VictimTag = true
+	}
+	// reset() does not reorder the set, so idx is still correct.
+	set[idx].Segs = segs
+	return victims, true
+}
+
+// Invalidate removes a, returning the line as it was (Valid=false if
+// absent). The invalid tag keeps the address as victim history.
+func (c *Compressed) Invalidate(a BlockAddr) Line {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			ln := set[i]
+			c.Stats.Invals++
+			set[i].reset()
+			set[i].VictimTag = true
+			return ln
+		}
+	}
+	return Line{}
+}
+
+// InvalidTagMatch scans the invalid tags of a's set in LRU-stack order
+// and reports whether any records address a — the paper's test for "this
+// miss was caused by a replacement". The matching tag is cleared so one
+// replacement is only counted once.
+func (c *Compressed) InvalidTagMatch(a BlockAddr) bool {
+	set := c.sets[c.setIndex(a)]
+	for i := len(set) - 1; i >= 0; i-- {
+		if !set[i].Valid && set[i].VictimTag && set[i].Addr == a {
+			set[i].VictimTag = false
+			return true
+		}
+	}
+	return false
+}
+
+// VictimTagCount returns the number of invalid tags currently holding
+// victim addresses in a's set — the paper's "unused compression tags"
+// whose availability limits harmful-prefetch detection (§5.4).
+func (c *Compressed) VictimTagCount(a BlockAddr) int {
+	set := c.sets[c.setIndex(a)]
+	n := 0
+	for i := range set {
+		if !set[i].Valid && set[i].VictimTag {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyPrefetchInSet reports whether any valid line in a's set has its
+// prefetch bit set.
+func (c *Compressed) AnyPrefetchInSet(a BlockAddr) bool {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Prefetch {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of valid cached lines.
+func (c *Compressed) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EffectiveBytes returns the effective cache size: valid lines × 64 B.
+// With incompressible data this equals at most CapacityBytes; with
+// compressible data it can reach 2× (tags permitting).
+func (c *Compressed) EffectiveBytes() int { return c.ValidLines() * LineBytes }
+
+// UsedSegments returns the total data segments currently occupied.
+func (c *Compressed) UsedSegments() int {
+	n := 0
+	for _, set := range c.sets {
+		n += usedSegs(set)
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line; the cache must not be
+// mutated during iteration.
+func (c *Compressed) ForEachValid(fn func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency (test support): no
+// duplicate valid tags in a set, segment budget respected, valid lines
+// have legal sizes. It returns a descriptive error string, or "".
+func (c *Compressed) CheckInvariants() string {
+	for si, set := range c.sets {
+		used := 0
+		seen := map[BlockAddr]bool{}
+		for i := range set {
+			if !set[i].Valid {
+				continue
+			}
+			if set[i].Segs < 1 || set[i].Segs > MaxSegs {
+				return fmt.Sprintf("set %d: line %#x has %d segs", si, uint64(set[i].Addr), set[i].Segs)
+			}
+			if seen[set[i].Addr] {
+				return fmt.Sprintf("set %d: duplicate tag %#x", si, uint64(set[i].Addr))
+			}
+			seen[set[i].Addr] = true
+			used += int(set[i].Segs)
+			if int(set[i].Addr&c.setMask) != si {
+				return fmt.Sprintf("set %d: line %#x maps to set %d", si, uint64(set[i].Addr), set[i].Addr&c.setMask)
+			}
+		}
+		if used > c.dataSegs {
+			return fmt.Sprintf("set %d: %d segments used > %d budget", si, used, c.dataSegs)
+		}
+	}
+	return ""
+}

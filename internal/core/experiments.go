@@ -1,0 +1,367 @@
+package core
+
+import (
+	"cmpsim/internal/coherence"
+	"cmpsim/internal/sim"
+	"cmpsim/internal/stats"
+)
+
+// CompressionRow is one benchmark's compression study results:
+// Table 3 (ratio), Figure 3 (miss-rate reduction) and Figure 5
+// (speedups of the three compression configurations).
+type CompressionRow struct {
+	Benchmark        string
+	Ratio            float64 // Table 3: effective / physical cache size
+	BaseMissPerKI    float64
+	ComprMissPerKI   float64
+	MissReductionPct float64 // Figure 3
+	SpeedupCachePct  float64 // Figure 5: cache compression only
+	SpeedupLinkPct   float64 // Figure 5: link compression only
+	SpeedupBothPct   float64 // Figure 5: both
+}
+
+// CompressionStudy regenerates Table 3, Figure 3 and Figure 5.
+func CompressionStudy(benchmarks []string, o Options) []CompressionRow {
+	var rows []CompressionRow
+	for _, b := range benchmarks {
+		base := MustRun(b, Base, o)
+		cc := MustRun(b, CacheCompr, o)
+		lc := MustRun(b, LinkCompr, o)
+		both := MustRun(b, Compression, o)
+		rows = append(rows, CompressionRow{
+			Benchmark:        b,
+			Ratio:            cc.Mean(func(m *sim.Metrics) float64 { return m.CompressionRatio }),
+			BaseMissPerKI:    base.Mean(func(m *sim.Metrics) float64 { return m.L2MissesPerKI }),
+			ComprMissPerKI:   cc.Mean(func(m *sim.Metrics) float64 { return m.L2MissesPerKI }),
+			MissReductionPct: missReductionPct(base, cc),
+			SpeedupCachePct:  stats.SpeedupPct(Speedup(base, cc)),
+			SpeedupLinkPct:   stats.SpeedupPct(Speedup(base, lc)),
+			SpeedupBothPct:   stats.SpeedupPct(Speedup(base, both)),
+		})
+	}
+	return rows
+}
+
+func missReductionPct(base, enh Point) float64 {
+	b := base.Mean(func(m *sim.Metrics) float64 { return m.L2MissesPerKI })
+	e := enh.Mean(func(m *sim.Metrics) float64 { return m.L2MissesPerKI })
+	if b == 0 {
+		return 0
+	}
+	return (b - e) / b * 100
+}
+
+// BandwidthRow is one benchmark's Figure 4 row: pin-bandwidth demand in
+// GB/s under the four compression configurations (infinite pins).
+type BandwidthRow struct {
+	Benchmark string
+	None      float64
+	CacheOnly float64
+	LinkOnly  float64
+	Both      float64
+}
+
+// BandwidthStudy regenerates Figure 4. It forces infinite pin bandwidth
+// (the paper's demand definition).
+func BandwidthStudy(benchmarks []string, o Options) []BandwidthRow {
+	o.BandwidthGBps = 0
+	bw := func(p Point) float64 {
+		return p.Mean(func(m *sim.Metrics) float64 { return m.BandwidthGBps })
+	}
+	var rows []BandwidthRow
+	for _, b := range benchmarks {
+		rows = append(rows, BandwidthRow{
+			Benchmark: b,
+			None:      bw(MustRun(b, Base, o)),
+			CacheOnly: bw(MustRun(b, CacheCompr, o)),
+			LinkOnly:  bw(MustRun(b, LinkCompr, o)),
+			Both:      bw(MustRun(b, Compression, o)),
+		})
+	}
+	return rows
+}
+
+// PrefetchPropsRow is one benchmark's Table 4 row: rate, coverage and
+// accuracy of the three prefetcher classes.
+type PrefetchPropsRow struct {
+	Benchmark string
+	L1I       PrefetcherProps
+	L1D       PrefetcherProps
+	L2        PrefetcherProps
+}
+
+// PrefetcherProps is EQ 2-4 for one engine class.
+type PrefetcherProps struct {
+	RatePer1000 float64
+	CoveragePct float64
+	AccuracyPct float64
+}
+
+// PrefetchProperties regenerates Table 4 (prefetching on, compression
+// off, as in the paper's §4.3).
+func PrefetchProperties(benchmarks []string, o Options) []PrefetchPropsRow {
+	var rows []PrefetchPropsRow
+	for _, b := range benchmarks {
+		p := MustRun(b, Prefetch, o)
+		props := func(src coherence.PfSource) PrefetcherProps {
+			var pr PrefetcherProps
+			for i := range p.Runs {
+				e := p.Runs[i].Engine(src)
+				pr.RatePer1000 += e.RatePer1000(p.Runs[i].Instructions)
+				pr.CoveragePct += e.Coverage() * 100
+				pr.AccuracyPct += e.Accuracy() * 100
+			}
+			n := float64(len(p.Runs))
+			pr.RatePer1000 /= n
+			pr.CoveragePct /= n
+			pr.AccuracyPct /= n
+			return pr
+		}
+		rows = append(rows, PrefetchPropsRow{
+			Benchmark: b,
+			L1I:       props(coherence.PfL1I),
+			L1D:       props(coherence.PfL1D),
+			L2:        props(coherence.PfL2),
+		})
+	}
+	return rows
+}
+
+// PrefetchSpeedupRow is one benchmark's Figure 6 row.
+type PrefetchSpeedupRow struct {
+	Benchmark          string
+	SpeedupPct         float64 // base stride prefetching
+	AdaptiveSpeedupPct float64
+}
+
+// PrefetchStudy regenerates Figure 6.
+func PrefetchStudy(benchmarks []string, o Options) []PrefetchSpeedupRow {
+	var rows []PrefetchSpeedupRow
+	for _, b := range benchmarks {
+		base := MustRun(b, Base, o)
+		pf := MustRun(b, Prefetch, o)
+		ad := MustRun(b, AdaptivePf, o)
+		rows = append(rows, PrefetchSpeedupRow{
+			Benchmark:          b,
+			SpeedupPct:         stats.SpeedupPct(Speedup(base, pf)),
+			AdaptiveSpeedupPct: stats.SpeedupPct(Speedup(base, ad)),
+		})
+	}
+	return rows
+}
+
+// InteractionRow is one benchmark's Table 5 / Figure 9 row.
+type InteractionRow struct {
+	Benchmark            string
+	PrefPct              float64 // Speedup(Pref.) − 1
+	ComprPct             float64 // Speedup(Compr.) − 1
+	BothPct              float64 // Speedup(Pref., Compr.) − 1
+	AdaptiveBothPct      float64 // Speedup(Adaptive-Pref, Compr.) − 1
+	InteractionPct       float64 // EQ 5
+	BWBasePrefGrowthPct  float64 // Figure 7: demand growth of pf alone
+	BWComprPrefGrowthPct float64 // Figure 7: demand growth of pf+compr
+}
+
+// InteractionStudy regenerates Table 5, Figure 9 and the Figure 7 demand
+// ratios (the latter on infinite pins).
+func InteractionStudy(benchmarks []string, o Options) []InteractionRow {
+	var rows []InteractionRow
+	for _, b := range benchmarks {
+		base := MustRun(b, Base, o)
+		pf := MustRun(b, Prefetch, o)
+		compr := MustRun(b, Compression, o)
+		both := MustRun(b, PrefCompr, o)
+		adBoth := MustRun(b, AdaptiveCompr, o)
+
+		sp := Speedup(base, pf)
+		sc := Speedup(base, compr)
+		sb := Speedup(base, both)
+
+		// Figure 7 bandwidth demand, infinite pins.
+		oInf := o
+		oInf.BandwidthGBps = 0
+		bw := func(m Mechanisms) float64 {
+			return MustRun(b, m, oInf).Mean(func(mm *sim.Metrics) float64 { return mm.BandwidthGBps })
+		}
+		bwBase := bw(Base)
+		row := InteractionRow{
+			Benchmark:       b,
+			PrefPct:         stats.SpeedupPct(sp),
+			ComprPct:        stats.SpeedupPct(sc),
+			BothPct:         stats.SpeedupPct(sb),
+			AdaptiveBothPct: stats.SpeedupPct(Speedup(base, adBoth)),
+			InteractionPct:  stats.InteractionPct(sp, sc, sb),
+		}
+		if bwBase > 0 {
+			row.BWBasePrefGrowthPct = (bw(Prefetch)/bwBase - 1) * 100
+			row.BWComprPrefGrowthPct = (bw(PrefCompr)/bwBase - 1) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AdaptiveRow is one commercial benchmark's Figure 10 row.
+type AdaptiveRow struct {
+	Benchmark        string
+	PrefPct          float64
+	AdaptivePct      float64
+	PrefComprPct     float64
+	AdaptiveComprPct float64
+}
+
+// AdaptiveStudy regenerates Figure 10 (the paper shows the commercial
+// workloads, where adaptation matters).
+func AdaptiveStudy(benchmarks []string, o Options) []AdaptiveRow {
+	var rows []AdaptiveRow
+	for _, b := range benchmarks {
+		base := MustRun(b, Base, o)
+		sp := func(m Mechanisms) float64 { return stats.SpeedupPct(Speedup(base, MustRun(b, m, o))) }
+		rows = append(rows, AdaptiveRow{
+			Benchmark:        b,
+			PrefPct:          sp(Prefetch),
+			AdaptivePct:      sp(AdaptivePf),
+			PrefComprPct:     sp(PrefCompr),
+			AdaptiveComprPct: sp(AdaptiveCompr),
+		})
+	}
+	return rows
+}
+
+// MissClassRow is one benchmark's Figure 8 breakdown, as percentages of
+// the baseline's total demand misses.
+type MissClassRow struct {
+	Benchmark      string
+	NotAvoidedPct  float64 // demand misses neither mechanism avoids
+	OnlyComprPct   float64 // avoided only by L2 compression
+	OnlyPrefPct    float64 // avoided only by L2 prefetching
+	EitherPct      float64 // avoidable by either (the overlap)
+	PrefFetchPct   float64 // prefetch fetches not avoided by compression
+	PrefAvoidedPct float64 // prefetch fetches avoided by compression
+}
+
+// MissClassification regenerates Figure 8 using per-block miss profiles
+// of the base, compression-only, prefetch-only and combined runs and
+// inclusion–exclusion, as the paper describes.
+func MissClassification(benchmarks []string, o Options) []MissClassRow {
+	o.CollectMissProfile = true
+	o.Seeds = 1
+	var rows []MissClassRow
+	for _, b := range benchmarks {
+		base := MustRun(b, Base, o).Runs[0]
+		compr := MustRun(b, CacheCompr, o).Runs[0]
+		pf := MustRun(b, Prefetch, o).Runs[0]
+		both := MustRun(b, PrefCompr, o).Runs[0]
+
+		var total, onlyC, onlyP, either float64
+		for blk, m0 := range base.MissProfile {
+			total += float64(m0)
+			ac := avoided(m0, compr.MissProfile[blk])
+			ap := avoided(m0, pf.MissProfile[blk])
+			inter := ac
+			if ap < inter {
+				inter = ap
+			}
+			onlyC += ac - inter
+			onlyP += ap - inter
+			either += inter
+		}
+		if total == 0 {
+			rows = append(rows, MissClassRow{Benchmark: b})
+			continue
+		}
+		// Prefetch fetches = memory fetches beyond demand misses.
+		pfFetches := float64(pf.MemFetches) - float64(pf.L2Misses)
+		pfFetchesBoth := float64(both.MemFetches) - float64(both.L2Misses)
+		avoidedPf := pfFetches - pfFetchesBoth
+		if avoidedPf < 0 {
+			avoidedPf = 0
+		}
+		rows = append(rows, MissClassRow{
+			Benchmark:      b,
+			NotAvoidedPct:  (total - onlyC - onlyP - either) / total * 100,
+			OnlyComprPct:   onlyC / total * 100,
+			OnlyPrefPct:    onlyP / total * 100,
+			EitherPct:      either / total * 100,
+			PrefFetchPct:   pfFetchesBoth / total * 100,
+			PrefAvoidedPct: avoidedPf / total * 100,
+		})
+	}
+	return rows
+}
+
+func avoided(base, enh uint32) float64 {
+	if enh >= base {
+		return 0
+	}
+	return float64(base - enh)
+}
+
+// BandwidthSweepRow is one benchmark's Figure 11 row: the interaction
+// term at each available pin bandwidth.
+type BandwidthSweepRow struct {
+	Benchmark      string
+	InteractionPct map[int]float64 // GB/s -> interaction %
+}
+
+// BandwidthSweep regenerates Figure 11 (10-80 GB/s).
+func BandwidthSweep(benchmarks []string, bandwidths []int, o Options) []BandwidthSweepRow {
+	var rows []BandwidthSweepRow
+	for _, b := range benchmarks {
+		row := BandwidthSweepRow{Benchmark: b, InteractionPct: map[int]float64{}}
+		for _, gb := range bandwidths {
+			ob := o
+			ob.BandwidthGBps = float64(gb)
+			base := MustRun(b, Base, ob)
+			sp := Speedup(base, MustRun(b, Prefetch, ob))
+			sc := Speedup(base, MustRun(b, Compression, ob))
+			sb := Speedup(base, MustRun(b, PrefCompr, ob))
+			row.InteractionPct[gb] = stats.InteractionPct(sp, sc, sb)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CoreSweepRow is one (benchmark, core count) entry of Figures 1 and 12:
+// performance improvement over the same-core-count base system.
+type CoreSweepRow struct {
+	Benchmark   string
+	Cores       int
+	PrefPct     float64
+	AdaptivePct float64
+	ComprPct    float64
+	BothPct     float64
+	AdBothPct   float64
+}
+
+// CoreSweep regenerates Figure 1 (zeus) and Figure 12 (apache, jbb):
+// the mechanisms' improvements as the core count scales, all other
+// parameters fixed.
+func CoreSweep(bench string, coreCounts []int, o Options) []CoreSweepRow {
+	var rows []CoreSweepRow
+	for _, n := range coreCounts {
+		on := o
+		on.Cores = n
+		base := MustRun(bench, Base, on)
+		sp := func(m Mechanisms) float64 { return stats.SpeedupPct(Speedup(base, MustRun(bench, m, on))) }
+		rows = append(rows, CoreSweepRow{
+			Benchmark:   bench,
+			Cores:       n,
+			PrefPct:     sp(Prefetch),
+			AdaptivePct: sp(AdaptivePf),
+			ComprPct:    sp(Compression),
+			BothPct:     sp(PrefCompr),
+			AdBothPct:   sp(AdaptiveCompr),
+		})
+	}
+	return rows
+}
+
+// EffectiveSizeSample reports the time-averaged effective size of the
+// compressed cache for one benchmark (Table 3 support).
+func EffectiveSizeSample(bench string, o Options) (ratio float64, effectiveBytes float64) {
+	p := MustRun(bench, CacheCompr, o)
+	return p.Mean(func(m *sim.Metrics) float64 { return m.CompressionRatio }),
+		p.Mean(func(m *sim.Metrics) float64 { return m.EffectiveL2Bytes })
+}

@@ -1,0 +1,389 @@
+// Package fpc implements Frequent Pattern Compression (FPC), the
+// significance-based cache-line compression scheme of Alameldeen & Wood
+// used for both cache compression and link compression in the HPCA 2007
+// paper "Interactions Between Compression and Prefetching in Chip
+// Multiprocessors".
+//
+// FPC compresses a cache line one 32-bit word at a time. Each word is
+// encoded as a 3-bit prefix that identifies one of eight patterns,
+// followed by the pattern's data bits:
+//
+//	prefix  pattern                                   data bits
+//	000     run of 1-8 zero words                     3
+//	001     4-bit sign-extended integer               4
+//	010     8-bit sign-extended integer               8
+//	011     16-bit sign-extended integer              16
+//	100     16-bit value padded with a zero halfword  16
+//	101     two halfwords, each an 8-bit s.e. int     16
+//	110     word of four repeated bytes               8
+//	111     uncompressed 32-bit word                  32
+//
+// A 64-byte line is 16 words. The encoded bit length is rounded up to
+// 8-byte segments; a line that does not compress below 8 segments is
+// stored uncompressed (8 segments, no prefix overhead, no decompression
+// penalty).
+package fpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache line size in bytes used throughout the simulator.
+const LineSize = 64
+
+// SegmentSize is the compression granularity in bytes: lines occupy an
+// integral number of 8-byte segments in the compressed cache and cross
+// the off-chip link in 8-byte flits.
+const SegmentSize = 8
+
+// MaxSegments is the size of an uncompressed line in segments.
+const MaxSegments = LineSize / SegmentSize
+
+// wordsPerLine is the number of 32-bit words in a line.
+const wordsPerLine = LineSize / 4
+
+// Pattern identifies one of the eight FPC word encodings.
+type Pattern uint8
+
+// The eight FPC patterns, in prefix order.
+const (
+	PatZeroRun   Pattern = 0 // run of consecutive zero words
+	PatSE4       Pattern = 1 // 4-bit sign-extended
+	PatSE8       Pattern = 2 // 8-bit sign-extended
+	PatSE16      Pattern = 3 // 16-bit sign-extended
+	PatZeroPad16 Pattern = 4 // halfword padded with zero halfword
+	PatTwoSE8    Pattern = 5 // two halfwords, each byte sign-extended
+	PatRepByte   Pattern = 6 // four repeated bytes
+	PatUncomp    Pattern = 7 // uncompressed word
+)
+
+// String returns a short human-readable pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case PatZeroRun:
+		return "zero-run"
+	case PatSE4:
+		return "se4"
+	case PatSE8:
+		return "se8"
+	case PatSE16:
+		return "se16"
+	case PatZeroPad16:
+		return "zero-pad16"
+	case PatTwoSE8:
+		return "two-se8"
+	case PatRepByte:
+		return "rep-byte"
+	case PatUncomp:
+		return "uncompressed"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(p))
+	}
+}
+
+// dataBits returns the number of data bits following the 3-bit prefix
+// for each pattern.
+func (p Pattern) dataBits() int {
+	switch p {
+	case PatZeroRun:
+		return 3
+	case PatSE4:
+		return 4
+	case PatSE8, PatRepByte:
+		return 8
+	case PatSE16, PatZeroPad16, PatTwoSE8:
+		return 16
+	case PatUncomp:
+		return 32
+	default:
+		panic("fpc: invalid pattern")
+	}
+}
+
+const prefixBits = 3
+
+// classify returns the cheapest pattern that can represent word w.
+// Zero words are handled by the caller (run-length coded).
+func classify(w uint32) Pattern {
+	s := int32(w)
+	switch {
+	case s >= -8 && s <= 7:
+		return PatSE4
+	case s >= -128 && s <= 127:
+		return PatSE8
+	case s >= -32768 && s <= 32767:
+		return PatSE16
+	case w&0xFFFF == 0:
+		return PatZeroPad16
+	case halfIsSE8(uint16(w>>16)) && halfIsSE8(uint16(w)):
+		return PatTwoSE8
+	case isRepeatedBytes(w):
+		return PatRepByte
+	default:
+		return PatUncomp
+	}
+}
+
+// halfIsSE8 reports whether the 16-bit halfword is an 8-bit
+// sign-extended value.
+func halfIsSE8(h uint16) bool {
+	s := int16(h)
+	return s >= -128 && s <= 127
+}
+
+// isRepeatedBytes reports whether all four bytes of w are equal.
+func isRepeatedBytes(w uint32) bool {
+	b := w & 0xFF
+	return w == b|b<<8|b<<16|b<<24
+}
+
+// CompressedBits returns the exact number of bits FPC needs to encode
+// line, which must be LineSize bytes long. It is the size-only fast path:
+// no bitstream is materialized.
+func CompressedBits(line []byte) int {
+	if len(line) != LineSize {
+		panic("fpc: line must be 64 bytes")
+	}
+	bits := 0
+	i := 0
+	for i < wordsPerLine {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		if w == 0 {
+			run := 1
+			for i+run < wordsPerLine && run < 8 {
+				if binary.LittleEndian.Uint32(line[(i+run)*4:]) != 0 {
+					break
+				}
+				run++
+			}
+			bits += prefixBits + PatZeroRun.dataBits()
+			i += run
+			continue
+		}
+		bits += prefixBits + classify(w).dataBits()
+		i++
+	}
+	return bits
+}
+
+// CompressedSizeSegments returns the number of 8-byte segments the line
+// occupies after FPC compression, in the range [1, MaxSegments]. A line
+// whose encoded form would need MaxSegments or more is stored
+// uncompressed and reports MaxSegments.
+func CompressedSizeSegments(line []byte) int {
+	segs := (CompressedBits(line) + SegmentSize*8 - 1) / (SegmentSize * 8)
+	if segs < 1 {
+		segs = 1
+	}
+	if segs >= MaxSegments {
+		return MaxSegments
+	}
+	return segs
+}
+
+// Compressible reports whether FPC saves at least one segment on line.
+func Compressible(line []byte) bool {
+	return CompressedSizeSegments(line) < MaxSegments
+}
+
+// bitWriter accumulates a big-endian-within-byte bitstream.
+type bitWriter struct {
+	buf  []byte
+	nbit uint // bits already written
+}
+
+func (bw *bitWriter) write(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if bw.nbit%8 == 0 {
+			bw.buf = append(bw.buf, 0)
+		}
+		bit := (v >> uint(i)) & 1
+		bw.buf[len(bw.buf)-1] |= byte(bit << (7 - bw.nbit%8))
+		bw.nbit++
+	}
+}
+
+// bitReader consumes a bitstream produced by bitWriter.
+type bitReader struct {
+	buf  []byte
+	nbit uint
+}
+
+var errShortStream = errors.New("fpc: truncated bitstream")
+
+func (br *bitReader) read(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		idx := br.nbit / 8
+		if int(idx) >= len(br.buf) {
+			return 0, errShortStream
+		}
+		bit := (br.buf[idx] >> (7 - br.nbit%8)) & 1
+		v = v<<1 | uint32(bit)
+		br.nbit++
+	}
+	return v, nil
+}
+
+// Encode compresses a 64-byte line into an FPC bitstream. The returned
+// slice is padded to a whole number of segments; Decode inverts it.
+// The second result is the occupied size in segments, identical to
+// CompressedSizeSegments. If the line is incompressible the raw line is
+// returned (copied) with MaxSegments.
+func Encode(line []byte) ([]byte, int) {
+	if len(line) != LineSize {
+		panic("fpc: line must be 64 bytes")
+	}
+	segs := CompressedSizeSegments(line)
+	if segs == MaxSegments {
+		out := make([]byte, LineSize)
+		copy(out, line)
+		return out, MaxSegments
+	}
+	bw := bitWriter{buf: make([]byte, 0, segs*SegmentSize)}
+	i := 0
+	for i < wordsPerLine {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		if w == 0 {
+			run := 1
+			for i+run < wordsPerLine && run < 8 {
+				if binary.LittleEndian.Uint32(line[(i+run)*4:]) != 0 {
+					break
+				}
+				run++
+			}
+			bw.write(uint32(PatZeroRun), prefixBits)
+			bw.write(uint32(run-1), PatZeroRun.dataBits())
+			i += run
+			continue
+		}
+		p := classify(w)
+		bw.write(uint32(p), prefixBits)
+		bw.write(encodeData(p, w), p.dataBits())
+		i++
+	}
+	out := make([]byte, segs*SegmentSize)
+	copy(out, bw.buf)
+	return out, segs
+}
+
+// encodeData extracts the data bits for pattern p from word w.
+func encodeData(p Pattern, w uint32) uint32 {
+	switch p {
+	case PatSE4:
+		return w & 0xF
+	case PatSE8:
+		return w & 0xFF
+	case PatSE16:
+		return w & 0xFFFF
+	case PatZeroPad16:
+		return w >> 16
+	case PatTwoSE8:
+		return (w>>16&0xFF)<<8 | w&0xFF
+	case PatRepByte:
+		return w & 0xFF
+	case PatUncomp:
+		return w
+	default:
+		panic("fpc: encodeData on zero-run")
+	}
+}
+
+// decodeData reconstructs the full word from pattern p's data bits.
+func decodeData(p Pattern, d uint32) uint32 {
+	switch p {
+	case PatSE4:
+		return signExtend(d, 4)
+	case PatSE8:
+		return signExtend(d, 8)
+	case PatSE16:
+		return signExtend(d, 16)
+	case PatZeroPad16:
+		return d << 16
+	case PatTwoSE8:
+		hi := signExtend(d>>8, 8) & 0xFFFF
+		lo := signExtend(d&0xFF, 8) & 0xFFFF
+		return hi<<16 | lo
+	case PatRepByte:
+		b := d & 0xFF
+		return b | b<<8 | b<<16 | b<<24
+	case PatUncomp:
+		return d
+	default:
+		panic("fpc: decodeData on zero-run")
+	}
+}
+
+// signExtend sign-extends the low n bits of v to 32 bits.
+func signExtend(v uint32, n int) uint32 {
+	shift := 32 - uint(n)
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// Decode decompresses an FPC bitstream produced by Encode back into a
+// 64-byte line. segs must be the segment count Encode returned; a value
+// of MaxSegments means the payload is the raw uncompressed line.
+func Decode(enc []byte, segs int) ([]byte, error) {
+	if segs == MaxSegments {
+		if len(enc) < LineSize {
+			return nil, errShortStream
+		}
+		out := make([]byte, LineSize)
+		copy(out, enc)
+		return out, nil
+	}
+	if segs < 1 || segs > MaxSegments {
+		return nil, fmt.Errorf("fpc: invalid segment count %d", segs)
+	}
+	br := bitReader{buf: enc}
+	out := make([]byte, LineSize)
+	i := 0
+	for i < wordsPerLine {
+		pv, err := br.read(prefixBits)
+		if err != nil {
+			return nil, err
+		}
+		p := Pattern(pv)
+		d, err := br.read(p.dataBits())
+		if err != nil {
+			return nil, err
+		}
+		if p == PatZeroRun {
+			run := int(d) + 1
+			if i+run > wordsPerLine {
+				return nil, fmt.Errorf("fpc: zero run of %d overflows line at word %d", run, i)
+			}
+			i += run // words already zero
+			continue
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], decodeData(p, d))
+		i++
+	}
+	return out, nil
+}
+
+// Ratio returns the compression ratio (original size / compressed size)
+// of a single line, e.g. 4.0 for a line that compresses to 2 segments.
+func Ratio(line []byte) float64 {
+	return float64(MaxSegments) / float64(CompressedSizeSegments(line))
+}
+
+// PatternHistogram counts, for analysis and tests, how many words of the
+// line fall into each pattern (zero-run words are counted individually).
+func PatternHistogram(line []byte) [8]int {
+	if len(line) != LineSize {
+		panic("fpc: line must be 64 bytes")
+	}
+	var h [8]int
+	for i := 0; i < wordsPerLine; i++ {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		if w == 0 {
+			h[PatZeroRun]++
+			continue
+		}
+		h[classify(w)]++
+	}
+	return h
+}

@@ -1,0 +1,284 @@
+package fpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineOfWords builds a 64-byte line from 16 words, repeating the given
+// words cyclically.
+func lineOfWords(words ...uint32) []byte {
+	line := make([]byte, LineSize)
+	for i := 0; i < wordsPerLine; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], words[i%len(words)])
+	}
+	return line
+}
+
+func TestAllZerosCompressesToOneSegment(t *testing.T) {
+	line := make([]byte, LineSize)
+	if got := CompressedSizeSegments(line); got != 1 {
+		t.Fatalf("all-zero line: got %d segments, want 1", got)
+	}
+	// 16 zero words = 2 runs of 8 = 2*(3+3) = 12 bits.
+	if got := CompressedBits(line); got != 12 {
+		t.Fatalf("all-zero line: got %d bits, want 12", got)
+	}
+}
+
+func TestSmallIntegersCompressWell(t *testing.T) {
+	line := lineOfWords(1, 2, 3, 7)
+	// 16 words × (3+4) bits = 112 bits = 2 segments.
+	if got := CompressedBits(line); got != 112 {
+		t.Fatalf("se4 line: got %d bits, want 112", got)
+	}
+	if got := CompressedSizeSegments(line); got != 2 {
+		t.Fatalf("se4 line: got %d segments, want 2", got)
+	}
+}
+
+func TestRandomDataIsIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	line := make([]byte, LineSize)
+	incompressible := 0
+	for trial := 0; trial < 50; trial++ {
+		for i := range line {
+			line[i] = byte(rng.Intn(256))
+		}
+		// Avoid pathological luck: most random lines must be full size.
+		if CompressedSizeSegments(line) == MaxSegments {
+			incompressible++
+		}
+	}
+	if incompressible < 45 {
+		t.Fatalf("only %d/50 random lines were incompressible", incompressible)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		want Pattern
+	}{
+		{1, PatSE4},
+		{0xFFFFFFFF, PatSE4}, // -1
+		{0xFFFFFFF8, PatSE4}, // -8
+		{100, PatSE8},
+		{0xFFFFFF80, PatSE8}, // -128
+		{1000, PatSE16},
+		{0xFFFF8000, PatSE16}, // -32768
+		{0x12340000, PatZeroPad16},
+		{0x007FFF80, PatTwoSE8}, // 0x007F (127) and 0xFF80 (-128) are both SE8
+		{0xABABABAB, PatRepByte},
+		{0x12345678, PatUncomp},
+	}
+	for _, c := range cases {
+		if got := classify(c.w); got != c.want {
+			t.Errorf("classify(%#x) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripFixedPatterns(t *testing.T) {
+	lines := [][]byte{
+		make([]byte, LineSize),
+		lineOfWords(1),
+		lineOfWords(0xFFFFFFFF),
+		lineOfWords(0x7F, 0xFFFFFF80),
+		lineOfWords(0x1234, 0xFFFF8000),
+		lineOfWords(0xDEAD0000),
+		lineOfWords(0x007F00FF, 0xFF80FF80),
+		lineOfWords(0x55555555),
+		lineOfWords(0x12345678, 0x9ABCDEF0),
+		lineOfWords(0, 1, 0, 0x12345678, 0, 0, 0, 0xABABABAB),
+	}
+	for i, line := range lines {
+		enc, segs := Encode(line)
+		if len(enc) != segs*SegmentSize {
+			t.Fatalf("line %d: enc length %d != segs %d × 8", i, len(enc), segs)
+		}
+		dec, err := Decode(enc, segs)
+		if err != nil {
+			t.Fatalf("line %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatalf("line %d: round trip mismatch\n got %x\nwant %x", i, dec, line)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: Decode(Encode(line)) == line for arbitrary content.
+	f := func(seed int64, mode uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := make([]byte, LineSize)
+		switch mode % 4 {
+		case 0: // fully random
+			rng.Read(line)
+		case 1: // sparse: mostly zeros
+			for i := 0; i < 4; i++ {
+				binary.LittleEndian.PutUint32(line[rng.Intn(wordsPerLine)*4:], rng.Uint32())
+			}
+		case 2: // small integers
+			for i := 0; i < wordsPerLine; i++ {
+				binary.LittleEndian.PutUint32(line[i*4:], uint32(rng.Intn(256)))
+			}
+		case 3: // mixed patterns
+			for i := 0; i < wordsPerLine; i++ {
+				var w uint32
+				switch rng.Intn(5) {
+				case 0:
+					w = 0
+				case 1:
+					w = uint32(int32(rng.Intn(16) - 8))
+				case 2:
+					w = rng.Uint32() << 16
+				case 3:
+					b := uint32(rng.Intn(256))
+					w = b | b<<8 | b<<16 | b<<24
+				default:
+					w = rng.Uint32()
+				}
+				binary.LittleEndian.PutUint32(line[i*4:], w)
+			}
+		}
+		enc, segs := Encode(line)
+		dec, err := Decode(enc, segs)
+		return err == nil && bytes.Equal(dec, line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeOnlyPathMatchesEncode(t *testing.T) {
+	// Property: CompressedSizeSegments agrees with the size Encode reports.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := make([]byte, LineSize)
+		for i := 0; i < wordsPerLine; i++ {
+			var w uint32
+			if rng.Intn(2) == 0 {
+				w = uint32(rng.Intn(1 << uint(rng.Intn(33))))
+			} else {
+				w = rng.Uint32()
+			}
+			binary.LittleEndian.PutUint32(line[i*4:], w)
+		}
+		_, segs := Encode(line)
+		return segs == CompressedSizeSegments(line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsAlwaysInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := make([]byte, LineSize)
+		rng.Read(line)
+		s := CompressedSizeSegments(line)
+		return s >= 1 && s <= MaxSegments
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{0x00}, 0); err == nil {
+		t.Error("segs=0 should fail")
+	}
+	if _, err := Decode([]byte{0x00}, 9); err == nil {
+		t.Error("segs=9 should fail")
+	}
+	if _, err := Decode(nil, MaxSegments); err == nil {
+		t.Error("short uncompressed payload should fail")
+	}
+	// A truncated compressed stream must not round-trip silently: one byte
+	// cannot hold 16 encoded words.
+	if _, err := Decode([]byte{0xFF}, 1); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestZeroRunBoundaries(t *testing.T) {
+	// A run longer than 8 zero words must be split into multiple runs.
+	line := make([]byte, LineSize) // 16 zeros = two runs of 8
+	enc, segs := Encode(line)
+	dec, err := Decode(enc, segs)
+	if err != nil || !bytes.Equal(dec, line) {
+		t.Fatalf("16-zero-word line round trip failed: %v", err)
+	}
+	// 9 zeros then nonzero tail.
+	line = lineOfWords(0, 0, 0, 0, 0, 0, 0, 0, 0, 0x12345678, 0x12345678,
+		0x12345678, 0x12345678, 0x12345678, 0x12345678, 0x12345678)
+	enc, segs = Encode(line)
+	dec, err = Decode(enc, segs)
+	if err != nil || !bytes.Equal(dec, line) {
+		t.Fatalf("9-zero-run line round trip failed: %v", err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(make([]byte, LineSize)); r != 8.0 {
+		t.Errorf("all-zero ratio = %v, want 8", r)
+	}
+	rng := rand.New(rand.NewSource(7))
+	line := make([]byte, LineSize)
+	rng.Read(line)
+	if r := Ratio(line); r != 1.0 {
+		t.Errorf("random ratio = %v, want 1", r)
+	}
+}
+
+func TestPatternHistogram(t *testing.T) {
+	line := lineOfWords(0, 1, 0x12345678, 0xABABABAB)
+	h := PatternHistogram(line)
+	if h[PatZeroRun] != 4 || h[PatSE4] != 4 || h[PatUncomp] != 4 || h[PatRepByte] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestEncodePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode on short line should panic")
+		}
+	}()
+	Encode(make([]byte, 32))
+}
+
+func BenchmarkCompressedSizeSegments(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lines := make([][]byte, 64)
+	for i := range lines {
+		lines[i] = make([]byte, LineSize)
+		for w := 0; w < wordsPerLine; w++ {
+			if rng.Intn(3) == 0 {
+				binary.LittleEndian.PutUint32(lines[i][w*4:], uint32(rng.Intn(128)))
+			} else {
+				binary.LittleEndian.PutUint32(lines[i][w*4:], rng.Uint32())
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompressedSizeSegments(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	line := lineOfWords(0, 1, 0x12340000, 0xABABABAB, 0x12345678)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, segs := Encode(line)
+		if _, err := Decode(enc, segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

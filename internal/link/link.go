@@ -1,0 +1,153 @@
+// Package link models the off-chip interconnect between the CMP's
+// memory interface and the memory controller: a shared channel of fixed
+// pin bandwidth carrying variable-length messages composed of 8-byte
+// flits. With link compression enabled, a data message carries a cache
+// line in 1-8 flits (its FPC-compressed size); without it, always 8.
+// Every message pays a fixed-size header (which carries the length
+// field the paper describes).
+//
+// Timing uses busy-until reservation: a message arriving at time t
+// starts when the channel frees, occupies bytes/bandwidth cycles, and
+// delays everything behind it — the queueing contention that makes
+// prefetching expensive on a CMP.
+package link
+
+import "fmt"
+
+// HeaderBytes is the per-message header: command, address and the
+// length field for variable-length compressed messages.
+const HeaderBytes = 8
+
+// FlitBytes is the payload granule (one 8-byte segment per flit).
+const FlitBytes = 8
+
+// Channel is a shared fixed-bandwidth link with two priority classes.
+// Demand messages are served with non-preemptive priority: a demand
+// message waits for the demand backlog plus at most one in-progress
+// low-priority transfer (the residual service), while low-priority
+// messages (prefetches, writebacks) queue behind everything. This
+// models a memory controller that prioritizes demand responses over
+// prefetch traffic.
+type Channel struct {
+	bytesPerCycle float64 // 0 = infinite bandwidth (measurement mode)
+	busyAll       float64 // server busy-until including low priority
+	busyDemand    float64 // busy-until from demand traffic only
+
+	// Stats.
+	Messages     uint64
+	TotalBytes   uint64
+	PayloadFlits uint64
+	BusyCycles   float64
+	QueueDelay   float64 // cumulative cycles messages waited for the channel
+}
+
+// NewChannel builds a link with the given bandwidth in bytes per core
+// cycle (e.g. 4.0 models 20 GB/s at 5 GHz). bytesPerCycle = 0 models
+// infinite pin bandwidth, used for the paper's "bandwidth demand"
+// metric: bytes are counted but nothing ever queues.
+func NewChannel(bytesPerCycle float64) *Channel {
+	if bytesPerCycle < 0 {
+		panic(fmt.Sprintf("link: negative bandwidth %f", bytesPerCycle))
+	}
+	return &Channel{bytesPerCycle: bytesPerCycle}
+}
+
+// Infinite reports whether the channel models unlimited bandwidth.
+func (c *Channel) Infinite() bool { return c.bytesPerCycle == 0 }
+
+// Occupancy returns the cycles one message of the given payload size
+// occupies the channel (0 for an infinite channel).
+func (c *Channel) Occupancy(flits int) float64 {
+	if c.Infinite() {
+		return 0
+	}
+	return float64(HeaderBytes+flits*FlitBytes) / c.bytesPerCycle
+}
+
+// Reserve claims a bandwidth slot for one message, no earlier than at.
+// It returns the slot's start cycle. Reservations are made in call
+// order — callers reserve when the transfer is *requested* (e.g. when a
+// fetch reaches the memory controller), not when its data is ready, so
+// an idle channel is never blocked by a far-future reservation. Demand
+// messages wait only for the demand backlog plus at most one residual
+// low-priority transfer (non-preemptive priority over prefetches and
+// writebacks).
+func (c *Channel) Reserve(at float64, flits int, demand bool) (slotStart float64) {
+	if flits < 0 {
+		panic("link: negative flit count")
+	}
+	bytes := HeaderBytes + flits*FlitBytes
+	c.Messages++
+	c.TotalBytes += uint64(bytes)
+	c.PayloadFlits += uint64(flits)
+	if c.Infinite() {
+		return at
+	}
+	occupancy := float64(bytes) / c.bytesPerCycle
+	start := at
+	if demand {
+		if c.busyDemand > start {
+			start = c.busyDemand
+		}
+		if c.busyAll > start {
+			residual := at + occupancy
+			if c.busyAll < residual {
+				residual = c.busyAll
+			}
+			if residual > start {
+				start = residual
+			}
+		}
+	} else if c.busyAll > start {
+		start = c.busyAll
+	}
+	if start > at {
+		c.QueueDelay += start - at
+	}
+	done := start + occupancy
+	if demand {
+		c.busyDemand = done
+	}
+	if done > c.busyAll {
+		c.busyAll = done
+	}
+	c.BusyCycles += occupancy
+	return start
+}
+
+// Send reserves the channel for one demand message starting no earlier
+// than now and returns the cycle the message has fully crossed.
+func (c *Channel) Send(now float64, flits int) (done float64) {
+	return c.Reserve(now, flits, true) + c.Occupancy(flits)
+}
+
+// SendLow is Send for low-priority messages (prefetches, writebacks).
+func (c *Channel) SendLow(now float64, flits int) (done float64) {
+	return c.Reserve(now, flits, false) + c.Occupancy(flits)
+}
+
+// BusyUntil returns the cycle at which the channel next frees.
+func (c *Channel) BusyUntil() float64 { return c.busyAll }
+
+// Utilization returns the fraction of cycles the channel was busy over
+// an elapsed window (0 for an infinite channel).
+func (c *Channel) Utilization(elapsedCycles float64) float64 {
+	if elapsedCycles <= 0 || c.Infinite() {
+		return 0
+	}
+	u := c.BusyCycles / elapsedCycles
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DemandGBps converts the observed byte count to the paper's bandwidth
+// demand metric in GB/s, given the elapsed cycles and the clock in GHz.
+func (c *Channel) DemandGBps(elapsedCycles, clockGHz float64) float64 {
+	if elapsedCycles <= 0 {
+		return 0
+	}
+	seconds := elapsedCycles / (clockGHz * 1e9)
+	return float64(c.TotalBytes) / 1e9 / seconds
+}

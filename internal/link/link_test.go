@@ -1,0 +1,133 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendAccountsBytes(t *testing.T) {
+	c := NewChannel(4.0)
+	c.Send(0, 8) // header + 8 flits = 72 bytes
+	if c.TotalBytes != 72 || c.Messages != 1 || c.PayloadFlits != 8 {
+		t.Fatalf("stats: %+v", c)
+	}
+}
+
+func TestSendOccupancy(t *testing.T) {
+	c := NewChannel(4.0) // 4 bytes/cycle
+	done := c.Send(100, 8)
+	if want := 100 + 72.0/4.0; done != want {
+		t.Fatalf("done = %f, want %f", done, want)
+	}
+}
+
+func TestQueueingDelaysSecondMessage(t *testing.T) {
+	c := NewChannel(4.0)
+	first := c.Send(0, 8) // occupies until cycle 18
+	done := c.Send(0, 8)  // must wait
+	if done != first+18 {
+		t.Fatalf("second done = %f, want %f", done, first+18)
+	}
+	if c.QueueDelay != first {
+		t.Fatalf("queue delay = %f, want %f", c.QueueDelay, first)
+	}
+}
+
+func TestInfiniteChannelNeverQueues(t *testing.T) {
+	c := NewChannel(0)
+	if !c.Infinite() {
+		t.Fatal("channel should be infinite")
+	}
+	for i := 0; i < 100; i++ {
+		if done := c.Send(5, 8); done != 5 {
+			t.Fatalf("infinite send done = %f", done)
+		}
+	}
+	if c.QueueDelay != 0 || c.TotalBytes != 7200 {
+		t.Fatalf("stats: %+v", c)
+	}
+}
+
+func TestCompressedMessageIsCheaper(t *testing.T) {
+	c := NewChannel(4.0)
+	full := c.Send(0, 8) - 0
+	c2 := NewChannel(4.0)
+	small := c2.Send(0, 2) - 0
+	if small >= full {
+		t.Fatalf("2-flit message (%f) should be faster than 8-flit (%f)", small, full)
+	}
+}
+
+func TestDemandGBps(t *testing.T) {
+	c := NewChannel(0)
+	c.Send(0, 8) // 72 bytes
+	// 72 bytes over 5e9 cycles at 5 GHz = 1 second -> 72e-9 GB/s.
+	got := c.DemandGBps(5e9, 5.0)
+	if math.Abs(got-72e-9) > 1e-12 {
+		t.Fatalf("demand = %g", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := NewChannel(4.0)
+	c.Send(0, 8) // busy 18 cycles
+	if u := c.Utilization(36); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %f", u)
+	}
+	if u := c.Utilization(9); u != 1 {
+		t.Fatalf("utilization should clamp to 1, got %f", u)
+	}
+	if u := c.Utilization(0); u != 0 {
+		t.Fatalf("zero window utilization = %f", u)
+	}
+}
+
+func TestNegativeFlitsPanics(t *testing.T) {
+	c := NewChannel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative flits should panic")
+		}
+	}()
+	c.Send(0, -1)
+}
+
+func TestNegativeBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative bandwidth should panic")
+		}
+	}()
+	NewChannel(-1)
+}
+
+// Property: completion times are monotone in submission order and never
+// precede the submission time plus occupancy.
+func TestSendMonotoneProperty(t *testing.T) {
+	f := func(times []uint16, flitsRaw []uint8) bool {
+		c := NewChannel(2.5)
+		var prev float64
+		now := 0.0
+		for i, dt := range times {
+			now += float64(dt % 100)
+			flits := 0
+			if i < len(flitsRaw) {
+				flits = int(flitsRaw[i] % 9)
+			}
+			done := c.Send(now, flits)
+			minOcc := float64(HeaderBytes+flits*FlitBytes) / 2.5
+			if done < now+minOcc-1e-9 {
+				return false
+			}
+			if done < prev {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package memory models the off-chip memory system: the memory
+// controller reached over the pin link and a banked DRAM. Lines are
+// stored in memory in the form the processor sends across the interface
+// — compressed or uncompressed, with a bit encoded in the ECC recording
+// which (the paper's simple memory interface that does not change
+// effective memory capacity).
+package memory
+
+import (
+	"fmt"
+
+	"cmpsim/internal/cache"
+	"cmpsim/internal/link"
+)
+
+// Config parameterizes the memory system (paper Table 1 defaults via
+// DefaultConfig).
+type Config struct {
+	// LinkBytesPerCycle is the pin bandwidth in bytes per core cycle;
+	// 20 GB/s at 5 GHz is 4.0. Zero models infinite bandwidth.
+	LinkBytesPerCycle float64
+	// DRAMLatency is the access latency in cycles (paper: 400).
+	DRAMLatency float64
+	// Banks is the number of DRAM banks (block-address interleaved).
+	Banks int
+	// BankOccupancy is the cycles a bank stays busy per access.
+	BankOccupancy float64
+	// LinkCompression transfers lines in their FPC-compressed size.
+	LinkCompression bool
+}
+
+// DefaultConfig returns the paper's memory parameters: 20 GB/s pins at a
+// 5 GHz core clock, 400-cycle DRAM, 16 banks.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerCycle: 4.0,
+		DRAMLatency:       400,
+		Banks:             16,
+		BankOccupancy:     40,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LinkBytesPerCycle < 0 {
+		return fmt.Errorf("memory: negative link bandwidth")
+	}
+	if c.DRAMLatency <= 0 || c.BankOccupancy < 0 {
+		return fmt.Errorf("memory: DRAM latency must be positive")
+	}
+	if c.Banks <= 0 {
+		return fmt.Errorf("memory: bank count must be positive")
+	}
+	return nil
+}
+
+// System is the controller + DRAM + link composite. The pins are
+// modeled as two channels at the configured rate: a narrow address
+// channel carrying request messages, and the data channel carrying
+// fetch responses and writebacks (the direction whose queueing the
+// paper's contention results hinge on). Keeping requests off the data
+// channel avoids a reservation-model artifact where a request issued
+// at time t would queue behind a response slot reserved at t+400.
+type System struct {
+	cfg      Config
+	Addr     *link.Channel
+	Data     *link.Channel
+	bankBusy []float64
+
+	// ECC meta-state: blocks currently stored compressed in memory.
+	// Tracked only for accounting/tests; sizes come from the SizeFunc.
+	Fetches    uint64
+	Writebacks uint64
+	DRAMWaits  float64 // cumulative bank queueing delay
+	FetchFlits uint64
+	WriteFlits uint64
+}
+
+// New builds a memory system.
+func New(cfg Config) *System {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &System{
+		cfg:      cfg,
+		Addr:     link.NewChannel(cfg.LinkBytesPerCycle),
+		Data:     link.NewChannel(cfg.LinkBytesPerCycle),
+		bankBusy: make([]float64, cfg.Banks),
+	}
+}
+
+// TotalBytes returns bytes moved across the pins in both channels.
+func (m *System) TotalBytes() uint64 { return m.Addr.TotalBytes + m.Data.TotalBytes }
+
+// DataBusyCycles returns the data channel's cumulative occupancy.
+func (m *System) DataBusyCycles() float64 { return m.Data.BusyCycles }
+
+// Config returns the active configuration.
+func (m *System) Config() Config { return m.cfg }
+
+// flitsFor returns the payload flit count for a line of the given
+// compressed size under the active link-compression setting.
+func (m *System) flitsFor(segs uint8) int {
+	if m.cfg.LinkCompression {
+		if segs < 1 {
+			segs = 1
+		}
+		if segs > cache.MaxSegs {
+			segs = cache.MaxSegs
+		}
+		return int(segs)
+	}
+	return cache.MaxSegs
+}
+
+// Fetch performs a demand line read: the request message crosses the
+// link, DRAM is accessed (bank conflicts delay), and the response
+// message returns with demand priority. It returns the cycle the line
+// is on chip.
+func (m *System) Fetch(now float64, addr cache.BlockAddr, segs uint8) float64 {
+	return m.fetch(now, addr, segs, true)
+}
+
+// FetchLow is Fetch at prefetch priority: the response queues behind
+// all other traffic on the data channel.
+func (m *System) FetchLow(now float64, addr cache.BlockAddr, segs uint8) float64 {
+	return m.fetch(now, addr, segs, false)
+}
+
+func (m *System) fetch(now float64, addr cache.BlockAddr, segs uint8, demand bool) float64 {
+	m.Fetches++
+	// Request message: header only, on the address channel.
+	reqDone := m.Addr.Send(now, 0)
+	// DRAM bank access.
+	bank := int(uint64(addr) % uint64(m.cfg.Banks))
+	start := reqDone
+	if m.bankBusy[bank] > start {
+		m.DRAMWaits += m.bankBusy[bank] - start
+		start = m.bankBusy[bank]
+	}
+	m.bankBusy[bank] = start + m.cfg.BankOccupancy
+	dataReady := start + m.cfg.DRAMLatency
+	// Response: the bandwidth slot is claimed in request order (the
+	// controller pipelines transfers), but the data cannot leave before
+	// the DRAM produces it.
+	flits := m.flitsFor(segs)
+	m.FetchFlits += uint64(flits)
+	slot := m.Data.Reserve(reqDone, flits, demand)
+	if slot < dataReady {
+		slot = dataReady
+	}
+	return slot + m.Data.Occupancy(flits)
+}
+
+// Writeback sends a dirty line to memory, consuming link bandwidth and
+// a DRAM bank slot. The caller does not wait for completion; the return
+// value is when the write has fully drained (for tests).
+func (m *System) Writeback(now float64, addr cache.BlockAddr, segs uint8) float64 {
+	m.Writebacks++
+	flits := m.flitsFor(segs)
+	m.WriteFlits += uint64(flits)
+	done := m.Data.SendLow(now, flits)
+	bank := int(uint64(addr) % uint64(m.cfg.Banks))
+	start := done
+	if m.bankBusy[bank] > start {
+		start = m.bankBusy[bank]
+	}
+	m.bankBusy[bank] = start + m.cfg.BankOccupancy
+	return start + m.cfg.BankOccupancy
+}
+
+// UncontendedFetchLatency returns the no-queueing round-trip latency of
+// a fetch with the given compressed size: the lower bound the timing
+// model approaches when bandwidth is plentiful.
+func (m *System) UncontendedFetchLatency(segs uint8) float64 {
+	lat := m.cfg.DRAMLatency
+	if !m.Data.Infinite() {
+		reqBytes := float64(link.HeaderBytes)
+		respBytes := float64(link.HeaderBytes + m.flitsFor(segs)*link.FlitBytes)
+		lat += (reqBytes + respBytes) / m.cfg.LinkBytesPerCycle
+	}
+	return lat
+}

@@ -1,0 +1,139 @@
+package memory
+
+import (
+	"math"
+	"testing"
+
+	"cmpsim/internal/cache"
+)
+
+func TestFetchLatencyUncontended(t *testing.T) {
+	m := New(DefaultConfig())
+	done := m.Fetch(0, 0, cache.MaxSegs)
+	// Request: 8 B / 4 Bpc = 2 cycles. DRAM: 400. Response: 72 B / 4 = 18.
+	want := 2.0 + 400 + 18
+	if math.Abs(done-want) > 1e-9 {
+		t.Fatalf("fetch done = %f, want %f", done, want)
+	}
+	if got := m.UncontendedFetchLatency(cache.MaxSegs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uncontended latency = %f, want %f", got, want)
+	}
+}
+
+func TestLinkCompressionShortensResponse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkCompression = true
+	m := New(cfg)
+	done := m.Fetch(0, 0, 2)
+	// Response: header + 2 flits = 24 B / 4 = 6 cycles.
+	want := 2.0 + 400 + 6
+	if math.Abs(done-want) > 1e-9 {
+		t.Fatalf("compressed fetch = %f, want %f", done, want)
+	}
+	if m.FetchFlits != 2 {
+		t.Fatalf("fetch flits = %d", m.FetchFlits)
+	}
+}
+
+func TestNoLinkCompressionAlwaysEightFlits(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Fetch(0, 0, 2)
+	if m.FetchFlits != 8 {
+		t.Fatalf("fetch flits = %d, want 8", m.FetchFlits)
+	}
+}
+
+func TestBankConflictDelays(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkBytesPerCycle = 0 // isolate DRAM behaviour
+	m := New(cfg)
+	// Same bank (addr 0 and addr 16 with 16 banks).
+	first := m.Fetch(0, 0, 8)
+	second := m.Fetch(0, 16, 8)
+	if second != first+cfg.BankOccupancy {
+		t.Fatalf("second fetch = %f, want %f", second, first+cfg.BankOccupancy)
+	}
+	if m.DRAMWaits != cfg.BankOccupancy {
+		t.Fatalf("DRAM waits = %f", m.DRAMWaits)
+	}
+	// Different bank: no delay.
+	third := m.Fetch(0, 1, 8)
+	if third != first {
+		t.Fatalf("third fetch (other bank) = %f, want %f", third, first)
+	}
+}
+
+func TestWritebackConsumesLink(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkCompression = true
+	m := New(cfg)
+	m.Writeback(0, 5, 3)
+	if m.Writebacks != 1 || m.WriteFlits != 3 {
+		t.Fatalf("writeback stats: %+v", m)
+	}
+	if m.Data.TotalBytes != 8+3*8 {
+		t.Fatalf("data bytes = %d", m.Data.TotalBytes)
+	}
+}
+
+func TestWritebackDelaysSubsequentFetchResponse(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Writeback(0, 5, 8) // occupies the data channel for 18 cycles
+	done := m.Fetch(0, 16, 8)
+	// The request uses the address channel (no wait), but the response
+	// shares the data channel; here DRAM latency dwarfs the writeback,
+	// so there is no queueing: 2 + 400 + 18.
+	want := 2.0 + 400 + 18
+	if math.Abs(done-want) > 1e-9 {
+		t.Fatalf("fetch after writeback = %f, want %f", done, want)
+	}
+	// A second immediate fetch to another bank queues its response
+	// behind the first on the data channel.
+	done2 := m.Fetch(0, 17, 8)
+	if done2 <= done {
+		t.Fatalf("second response should queue: %f vs %f", done2, done)
+	}
+}
+
+func TestInfiniteBandwidthMeasurementMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkBytesPerCycle = 0
+	m := New(cfg)
+	done := m.Fetch(0, 7, 8)
+	if done != cfg.DRAMLatency {
+		t.Fatalf("infinite-bw fetch = %f, want %f", done, cfg.DRAMLatency)
+	}
+	// Bytes are still counted for the bandwidth-demand metric.
+	if m.TotalBytes() == 0 {
+		t.Fatal("bytes must be accounted in measurement mode")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LinkBytesPerCycle: -1, DRAMLatency: 400, Banks: 16},
+		{LinkBytesPerCycle: 4, DRAMLatency: 0, Banks: 16},
+		{LinkBytesPerCycle: 4, DRAMLatency: 400, Banks: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestFlitClamping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkCompression = true
+	m := New(cfg)
+	m.Fetch(0, 0, 0)  // clamped to 1
+	m.Fetch(0, 1, 99) // clamped to 8
+	if m.FetchFlits != 9 {
+		t.Fatalf("fetch flits = %d, want 9", m.FetchFlits)
+	}
+}

@@ -1,0 +1,406 @@
+// Package prefetch implements the paper's Power4-style stride-based
+// hardware prefetcher and the adaptive throttling mechanism proposed in
+// §3 of the HPCA 2007 paper.
+//
+// Each cache (L1I, L1D and L2, per core) has an associated prefetch
+// engine with three 32-entry filter tables — positive unit stride,
+// negative unit stride, and non-unit stride — and an 8-entry stream
+// table. A filter table allocates a miss stream into the stream table
+// when it recognizes 4 fixed-stride misses; on allocation the engine
+// launches a number of consecutive startup prefetches along the stream
+// (6 for L1 engines, 25 for L2 engines, "at most" under the adaptive
+// scheme). Demand accesses that follow an active stream advance it,
+// keeping the prefetch distance ahead of the demand stream.
+//
+// The adaptive mechanism is a single saturating counter per cache that
+// bounds the startup-prefetch count per stream. Useful prefetches
+// (demand hit consumes a prefetch bit) increment it; useless prefetches
+// (prefetched line evicted unreferenced) and harmful prefetches (miss
+// matches a victim tag while prefetched lines sit in the set) decrement
+// it. At zero, prefetching for that cache is disabled entirely.
+package prefetch
+
+import (
+	"fmt"
+
+	"cmpsim/internal/cache"
+)
+
+// Config parameterizes one prefetch engine (paper Table 1 values are the
+// defaults from L1Config/L2Config).
+type Config struct {
+	FilterEntries  int // entries per filter table (paper: 32)
+	StreamEntries  int // stream table entries (paper: 8)
+	TrainThreshold int // fixed-stride misses to allocate a stream (paper: 4)
+	StartupDepth   int // startup prefetches per stream (paper: 6 L1, 25 L2)
+	MaxStride      int // |stride| bound in blocks for the non-unit table
+}
+
+// L1Config returns the paper's L1I/L1D engine parameters.
+func L1Config() Config {
+	return Config{FilterEntries: 32, StreamEntries: 8, TrainThreshold: 4, StartupDepth: 6, MaxStride: 64}
+}
+
+// L2Config returns the paper's L2 engine parameters.
+func L2Config() Config {
+	return Config{FilterEntries: 32, StreamEntries: 8, TrainThreshold: 4, StartupDepth: 25, MaxStride: 64}
+}
+
+func (c Config) validate() error {
+	if c.FilterEntries <= 0 || c.StreamEntries <= 0 {
+		return fmt.Errorf("prefetch: filter (%d) and stream (%d) entries must be positive", c.FilterEntries, c.StreamEntries)
+	}
+	if c.TrainThreshold < 2 {
+		return fmt.Errorf("prefetch: train threshold %d must be at least 2", c.TrainThreshold)
+	}
+	if c.StartupDepth < 1 {
+		return fmt.Errorf("prefetch: startup depth %d must be at least 1", c.StartupDepth)
+	}
+	if c.MaxStride < 2 {
+		return fmt.Errorf("prefetch: max stride %d must be at least 2", c.MaxStride)
+	}
+	return nil
+}
+
+// filterEntry tracks a candidate miss stream.
+type filterEntry struct {
+	valid  bool
+	last   cache.BlockAddr
+	stride int64 // fixed +1/-1 for the unit tables; 0 = undetermined
+	count  int
+	used   uint64 // LRU timestamp
+}
+
+// streamEntry is an active prefetch stream.
+type streamEntry struct {
+	valid      bool
+	stride     int64
+	nextDemand cache.BlockAddr // next demand address expected
+	nextPf     cache.BlockAddr // next address to prefetch
+	used       uint64
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Issued       uint64 // prefetch requests handed to the hierarchy
+	StreamAllocs uint64
+	FilterHits   uint64 // misses that strengthened a filter entry
+	Advances     uint64 // stream advances from demand accesses
+}
+
+// Engine is one stride prefetcher.
+type Engine struct {
+	cfg        Config
+	pos        []filterEntry // positive unit stride
+	neg        []filterEntry // negative unit stride
+	nonunit    []filterEntry
+	streams    []streamEntry
+	tick       uint64
+	cap        func() int // adaptive startup cap; nil = always cfg.StartupDepth
+	probeSkips uint64     // stream allocations suppressed while disabled
+	reqbuf     []cache.BlockAddr
+	Stats      Stats
+}
+
+// New builds an engine; it panics on an invalid Config (programmer error).
+func New(cfg Config) *Engine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{
+		cfg:     cfg,
+		pos:     make([]filterEntry, cfg.FilterEntries),
+		neg:     make([]filterEntry, cfg.FilterEntries),
+		nonunit: make([]filterEntry, cfg.FilterEntries),
+		streams: make([]streamEntry, cfg.StreamEntries),
+	}
+}
+
+// SetCap installs the adaptive controller's startup-prefetch bound. A
+// nil provider (the default) means non-adaptive operation at full depth.
+func (e *Engine) SetCap(cap func() int) { e.cap = cap }
+
+// depth returns the current allowed startup depth (0 disables).
+func (e *Engine) depth() int {
+	if e.cap == nil {
+		return e.cfg.StartupDepth
+	}
+	d := e.cap()
+	if d > e.cfg.StartupDepth {
+		d = e.cfg.StartupDepth
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// OnAccess informs the engine of a demand access (hit or miss) so active
+// streams advance. Prefetch addresses to issue are appended to the
+// returned slice, which aliases an internal buffer valid until the next
+// call.
+func (e *Engine) OnAccess(a cache.BlockAddr) []cache.BlockAddr {
+	e.tick++
+	e.reqbuf = e.reqbuf[:0]
+	issue := e.depth() > 0
+	for i := range e.streams {
+		s := &e.streams[i]
+		if !s.valid {
+			continue
+		}
+		// Advance when the demand stream reaches (or steps past) the
+		// expected next address; tolerate one skipped element.
+		if a == s.nextDemand || a == advance(s.nextDemand, s.stride) {
+			if a != s.nextDemand {
+				s.nextDemand = advance(s.nextDemand, s.stride)
+			}
+			s.nextDemand = advance(s.nextDemand, s.stride)
+			s.used = e.tick
+			if issue {
+				e.reqbuf = append(e.reqbuf, s.nextPf)
+				s.nextPf = advance(s.nextPf, s.stride)
+				e.Stats.Advances++
+				e.Stats.Issued++
+			}
+			break
+		}
+	}
+	return e.reqbuf
+}
+
+// advance moves a block address by a signed stride.
+func advance(a cache.BlockAddr, stride int64) cache.BlockAddr {
+	return cache.BlockAddr(int64(a) + stride)
+}
+
+// OnMiss trains the filter tables with a demand miss and may allocate a
+// stream, returning startup prefetch addresses (internal buffer, valid
+// until the next call).
+func (e *Engine) OnMiss(a cache.BlockAddr) []cache.BlockAddr {
+	e.tick++
+	e.reqbuf = e.reqbuf[:0]
+	if e.train(e.pos, a, 1) || e.train(e.neg, a, -1) || e.trainNonUnit(a) {
+		return e.reqbuf
+	}
+	// No table recognized the miss: allocate fresh candidates.
+	e.alloc(e.pos, a, 1)
+	e.alloc(e.neg, a, -1)
+	e.alloc(e.nonunit, a, 0)
+	return e.reqbuf
+}
+
+// train strengthens a unit-stride filter entry expecting address a.
+func (e *Engine) train(table []filterEntry, a cache.BlockAddr, stride int64) bool {
+	for i := range table {
+		f := &table[i]
+		if f.valid && advance(f.last, stride) == a {
+			f.last = a
+			f.count++
+			f.used = e.tick
+			e.Stats.FilterHits++
+			if f.count >= e.cfg.TrainThreshold {
+				f.valid = false
+				e.allocStream(a, stride)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// trainNonUnit handles the variable-stride table: the first pair of
+// misses establishes the candidate stride; later misses strengthen it.
+func (e *Engine) trainNonUnit(a cache.BlockAddr) bool {
+	for i := range e.nonunit {
+		f := &e.nonunit[i]
+		if f.valid && f.stride != 0 && advance(f.last, f.stride) == a {
+			f.last = a
+			f.count++
+			f.used = e.tick
+			e.Stats.FilterHits++
+			if f.count >= e.cfg.TrainThreshold {
+				f.valid = false
+				e.allocStream(a, f.stride)
+			}
+			return true
+		}
+	}
+	// Second chance: derive a stride from an undetermined entry.
+	for i := range e.nonunit {
+		f := &e.nonunit[i]
+		if f.valid && f.stride == 0 {
+			d := int64(a) - int64(f.last)
+			if d >= 2 && d <= int64(e.cfg.MaxStride) || d <= -2 && d >= -int64(e.cfg.MaxStride) {
+				f.stride = d
+				f.last = a
+				f.count = 2
+				f.used = e.tick
+				e.Stats.FilterHits++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// alloc installs a new filter candidate, replacing the LRU entry.
+func (e *Engine) alloc(table []filterEntry, a cache.BlockAddr, stride int64) {
+	vi := 0
+	for i := range table {
+		if !table[i].valid {
+			vi = i
+			break
+		}
+		if table[i].used < table[vi].used {
+			vi = i
+		}
+	}
+	table[vi] = filterEntry{valid: true, last: a, stride: stride, count: 1, used: e.tick}
+}
+
+// allocStream installs a stream (LRU replacement) and queues its startup
+// prefetches into reqbuf. When the adaptive controller has disabled the
+// engine (depth 0), most allocations are suppressed, but every 32nd one
+// issues a single probe prefetch: the paper's counter can only recover
+// through hits on prefetched lines, so a disabled engine must retain a
+// trickle of evidence-gathering prefetches.
+func (e *Engine) allocStream(a cache.BlockAddr, stride int64) {
+	d := e.depth()
+	if d == 0 {
+		e.probeSkips++
+		if e.probeSkips%32 != 0 {
+			return
+		}
+		d = 1
+	}
+	vi := 0
+	for i := range e.streams {
+		if !e.streams[i].valid {
+			vi = i
+			break
+		}
+		if e.streams[i].used < e.streams[vi].used {
+			vi = i
+		}
+	}
+	s := &e.streams[vi]
+	s.valid = true
+	s.stride = stride
+	s.nextDemand = advance(a, stride)
+	s.nextPf = advance(a, int64(d+1)*stride)
+	s.used = e.tick
+	e.Stats.StreamAllocs++
+	for k := 1; k <= d; k++ {
+		e.reqbuf = append(e.reqbuf, advance(a, int64(k)*stride))
+	}
+	e.Stats.Issued += uint64(d)
+}
+
+// TriggerStream allocates a stream directly (the paper lets L1 prefetch
+// streams trigger L2 prefetches). The returned startup addresses alias
+// the internal buffer.
+func (e *Engine) TriggerStream(a cache.BlockAddr, stride int64) []cache.BlockAddr {
+	e.tick++
+	e.reqbuf = e.reqbuf[:0]
+	if stride == 0 {
+		return e.reqbuf
+	}
+	// Skip if an equivalent stream is already active.
+	for i := range e.streams {
+		s := &e.streams[i]
+		if s.valid && s.stride == stride {
+			d := (int64(a) - int64(s.nextDemand)) * sign(stride)
+			if d >= -1 && d <= int64(e.cfg.StartupDepth) {
+				return e.reqbuf
+			}
+		}
+	}
+	e.allocStream(a, stride)
+	return e.reqbuf
+}
+
+// ActiveStreams returns the number of valid stream entries.
+func (e *Engine) ActiveStreams() int {
+	n := 0
+	for i := range e.streams {
+		if e.streams[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// StreamStride returns the stride of the most recently used active
+// stream, or 0 when none is active (test and trigger support).
+func (e *Engine) StreamStride() int64 {
+	best := -1
+	for i := range e.streams {
+		if e.streams[i].valid && (best == -1 || e.streams[i].used > e.streams[best].used) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0
+	}
+	return e.streams[best].stride
+}
+
+func sign(v int64) int64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Adaptive is the paper's saturating counter: one per cache. It starts
+// saturated at Max (normal prefetching) and is stepped by the three
+// event kinds. Cap() is the allowed startup-prefetch count; zero
+// disables prefetching for the associated cache.
+type Adaptive struct {
+	counter int
+	max     int
+
+	// Event counters for analysis.
+	UsefulEvents  uint64
+	UselessEvents uint64
+	HarmfulEvents uint64
+}
+
+// NewAdaptive returns a controller saturating at max (use the engine's
+// startup depth: 6 for L1, 25 for L2).
+func NewAdaptive(max int) *Adaptive {
+	if max < 1 {
+		panic("prefetch: adaptive max must be positive")
+	}
+	return &Adaptive{counter: max, max: max}
+}
+
+// Useful records a demand hit that consumed a prefetch bit.
+func (a *Adaptive) Useful() {
+	a.UsefulEvents++
+	if a.counter < a.max {
+		a.counter++
+	}
+}
+
+// Useless records a prefetched line evicted without being referenced.
+func (a *Adaptive) Useless() {
+	a.UselessEvents++
+	if a.counter > 0 {
+		a.counter--
+	}
+}
+
+// Harmful records a miss attributed to a prefetch-displaced victim.
+func (a *Adaptive) Harmful() {
+	a.HarmfulEvents++
+	if a.counter > 0 {
+		a.counter--
+	}
+}
+
+// Cap returns the current startup-prefetch bound.
+func (a *Adaptive) Cap() int { return a.counter }
+
+// Disabled reports whether prefetching is currently shut off.
+func (a *Adaptive) Disabled() bool { return a.counter == 0 }

@@ -1,0 +1,139 @@
+package prefetch
+
+import "cmpsim/internal/cache"
+
+// Prefetcher is the interface the simulation engine drives; the
+// stride Engine is the paper's prefetcher, and Sequential is the
+// adaptive sequential (unit-stride, Dahlgren-style) baseline from the
+// paper's related-work discussion, provided for comparison studies.
+type Prefetcher interface {
+	// OnAccess observes a demand access (hit or miss) and may return
+	// prefetch addresses (valid until the next call).
+	OnAccess(a cache.BlockAddr) []cache.BlockAddr
+	// OnMiss observes a demand miss and may return prefetch addresses.
+	OnMiss(a cache.BlockAddr) []cache.BlockAddr
+	// TriggerStream starts a stream directly (no-op for prefetchers
+	// without stream state).
+	TriggerStream(a cache.BlockAddr, stride int64) []cache.BlockAddr
+	// SetCap installs an adaptive issue bound (nil = unlimited).
+	SetCap(cap func() int)
+	// StreamStride reports the dominant detected stride (0 if none).
+	StreamStride() int64
+	// Allocations reports stream/window allocations for statistics.
+	Allocations() uint64
+}
+
+var (
+	_ Prefetcher = (*Engine)(nil)
+	_ Prefetcher = (*Sequential)(nil)
+)
+
+// Allocations implements Prefetcher for the stride engine.
+func (e *Engine) Allocations() uint64 { return e.Stats.StreamAllocs }
+
+// SequentialConfig parameterizes the sequential prefetcher.
+type SequentialConfig struct {
+	// Degree is the number of next-sequential blocks fetched per miss.
+	Degree int
+	// Tagged also prefetches on the first demand reference to a
+	// prefetched block (Smith's tagged prefetching), which keeps a
+	// sequential run going without further misses.
+	Tagged bool
+}
+
+// DefaultSequentialConfig matches the classic degree-1 tagged scheme.
+func DefaultSequentialConfig() SequentialConfig {
+	return SequentialConfig{Degree: 1, Tagged: true}
+}
+
+// Sequential is a one-block-lookahead (degree-N) sequential prefetcher:
+// every miss to block a prefetches a+1..a+Degree. With Tagged it also
+// extends runs on accesses that consumed a prefetch. It has no filter
+// or stream tables and catches only unit-stride locality — the baseline
+// the stride engine is measured against.
+type Sequential struct {
+	cfg    SequentialConfig
+	cap    func() int
+	reqbuf []cache.BlockAddr
+	// lastPrefetched supports Tagged mode without per-line state in the
+	// prefetcher: an access to the most recently prefetched window
+	// extends the run.
+	windowStart, windowEnd cache.BlockAddr
+	windowValid            bool
+
+	Stats Stats
+}
+
+// NewSequential builds the baseline prefetcher.
+func NewSequential(cfg SequentialConfig) *Sequential {
+	if cfg.Degree < 1 {
+		panic("prefetch: sequential degree must be at least 1")
+	}
+	return &Sequential{cfg: cfg}
+}
+
+// SetCap installs the adaptive bound.
+func (s *Sequential) SetCap(cap func() int) { s.cap = cap }
+
+func (s *Sequential) degree() int {
+	d := s.cfg.Degree
+	if s.cap != nil {
+		if c := s.cap(); c < d {
+			d = c
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// OnMiss prefetches the next Degree sequential blocks.
+func (s *Sequential) OnMiss(a cache.BlockAddr) []cache.BlockAddr {
+	s.reqbuf = s.reqbuf[:0]
+	d := s.degree()
+	for k := 1; k <= d; k++ {
+		s.reqbuf = append(s.reqbuf, a+cache.BlockAddr(k))
+	}
+	if d > 0 {
+		s.windowStart, s.windowEnd = a+1, a+cache.BlockAddr(d)
+		s.windowValid = true
+		s.Stats.Issued += uint64(d)
+		s.Stats.StreamAllocs++
+	}
+	return s.reqbuf
+}
+
+// OnAccess extends the current run in Tagged mode when the demand
+// stream reaches the prefetched window.
+func (s *Sequential) OnAccess(a cache.BlockAddr) []cache.BlockAddr {
+	s.reqbuf = s.reqbuf[:0]
+	if !s.cfg.Tagged || !s.windowValid || s.degree() == 0 {
+		return s.reqbuf
+	}
+	if a >= s.windowStart && a <= s.windowEnd {
+		next := s.windowEnd + 1
+		s.reqbuf = append(s.reqbuf, next)
+		s.windowEnd = next
+		s.Stats.Issued++
+		s.Stats.Advances++
+	}
+	return s.reqbuf
+}
+
+// TriggerStream is a no-op: the sequential scheme has no stream table.
+func (s *Sequential) TriggerStream(a cache.BlockAddr, stride int64) []cache.BlockAddr {
+	s.reqbuf = s.reqbuf[:0]
+	return s.reqbuf
+}
+
+// StreamStride is always +1 once a window is live.
+func (s *Sequential) StreamStride() int64 {
+	if s.windowValid {
+		return 1
+	}
+	return 0
+}
+
+// Allocations reports miss-triggered windows.
+func (s *Sequential) Allocations() uint64 { return s.Stats.StreamAllocs }

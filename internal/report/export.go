@@ -1,0 +1,112 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cmpsim/internal/core"
+)
+
+// WriteJSON renders any experiment's row slice as indented JSON, for
+// downstream plotting. All row types in internal/core marshal cleanly.
+func WriteJSON(w io.Writer, rows any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// CompressionCSV writes the compression study (Table 3 / Fig 3 / Fig 5).
+func CompressionCSV(w io.Writer, rows []core.CompressionRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "ratio", "base_miss_per_ki", "compr_miss_per_ki",
+		"miss_reduction_pct", "speedup_cache_pct", "speedup_link_pct", "speedup_both_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Benchmark,
+			f(r.Ratio), f(r.BaseMissPerKI), f(r.ComprMissPerKI),
+			f(r.MissReductionPct), f(r.SpeedupCachePct), f(r.SpeedupLinkPct), f(r.SpeedupBothPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// InteractionCSV writes Table 5 / Figure 9 rows.
+func InteractionCSV(w io.Writer, rows []core.InteractionRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "pref_pct", "compr_pct", "both_pct", "adaptive_both_pct",
+		"interaction_pct", "bw_pref_growth_pct", "bw_prefcompr_growth_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Benchmark, f(r.PrefPct), f(r.ComprPct), f(r.BothPct),
+			f(r.AdaptiveBothPct), f(r.InteractionPct),
+			f(r.BWBasePrefGrowthPct), f(r.BWComprPrefGrowthPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CoreSweepCSV writes Figure 1 / Figure 12 rows.
+func CoreSweepCSV(w io.Writer, rows []core.CoreSweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "cores", "pref_pct", "adaptive_pct", "compr_pct",
+		"both_pct", "adaptive_both_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Benchmark, strconv.Itoa(r.Cores), f(r.PrefPct), f(r.AdaptivePct),
+			f(r.ComprPct), f(r.BothPct), f(r.AdBothPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BandwidthSweepCSV writes Figure 11 rows (long format: one line per
+// benchmark × bandwidth).
+func BandwidthSweepCSV(w io.Writer, rows []core.BandwidthSweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "bandwidth_gbps", "interaction_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		var bws []int
+		for gb := range r.InteractionPct {
+			bws = append(bws, gb)
+		}
+		sort.Ints(bws)
+		for _, gb := range bws {
+			if err := cw.Write([]string{
+				r.Benchmark, strconv.Itoa(gb), f(r.InteractionPct[gb]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []core.InteractionRow{{Benchmark: "zeus", InteractionPct: 13.2}}
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []core.InteractionRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Benchmark != "zeus" || back[0].InteractionPct != 13.2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestCompressionCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CompressionCSV(&buf, []core.CompressionRow{
+		{Benchmark: "jbb", Ratio: 1.8, MissReductionPct: 18},
+		{Benchmark: "apsi", Ratio: 1.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "benchmark" || recs[1][0] != "jbb" {
+		t.Fatalf("records: %v", recs)
+	}
+	if recs[1][1] != "1.8000" {
+		t.Fatalf("ratio cell: %q", recs[1][1])
+	}
+}
+
+func TestInteractionCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := InteractionCSV(&buf, []core.InteractionRow{
+		{Benchmark: "mgrid", PrefPct: 18.9, InteractionPct: 21.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mgrid") || !strings.Contains(out, "21.5000") {
+		t.Fatalf("csv: %s", out)
+	}
+}
+
+func TestCoreSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CoreSweepCSV(&buf, []core.CoreSweepRow{
+		{Benchmark: "zeus", Cores: 16, PrefPct: -8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "zeus,16,-8.0000") {
+		t.Fatalf("csv: %s", buf.String())
+	}
+}
+
+func TestBandwidthSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := BandwidthSweepCSV(&buf, []core.BandwidthSweepRow{
+		{Benchmark: "zeus", InteractionPct: map[int]float64{20: 17, 10: 29}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long format, bandwidths ascending.
+	if len(recs) != 3 || recs[1][1] != "10" || recs[2][1] != "20" {
+		t.Fatalf("records: %v", recs)
+	}
+}

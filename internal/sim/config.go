@@ -1,0 +1,176 @@
+// Package sim assembles the full CMP timing simulator: workload
+// generators drive per-core sequencers (cpu.Core) whose memory
+// references flow through the coherent cache hierarchy
+// (coherence.Hierarchy over plain or compressed L2), the stride
+// prefetch engines, and the off-chip memory system (memory.System).
+// Shared resources — L2 banks, the pin link, DRAM banks — use
+// busy-until reservation, so contention emerges from traffic.
+//
+// One Run produces a Metrics snapshot covering everything the paper's
+// tables and figures report: runtime/IPC, miss rates, pin-bandwidth
+// demand, compression ratios, per-prefetcher rate/coverage/accuracy,
+// adaptive-event counts and (optionally) per-block miss profiles for
+// the Figure 8 classification.
+package sim
+
+import (
+	"fmt"
+
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/memory"
+	"cmpsim/internal/workload"
+)
+
+// Config describes one simulation run. NewConfig supplies the paper's
+// Table 1 parameters; callers toggle the four mechanisms under study.
+type Config struct {
+	Benchmark string
+	Cores     int
+	Seed      int64
+
+	// Run length, instructions per core.
+	WarmupInstr  uint64
+	MeasureInstr uint64
+
+	// The four mechanisms under study.
+	CacheCompression bool
+	LinkCompression  bool
+	Prefetching      bool
+	AdaptivePrefetch bool
+
+	// Prefetch-depth overrides for ablation studies (0 = the paper's
+	// defaults: 6 startup prefetches for L1 engines, 25 for L2).
+	L1PrefetchDepth int
+	L2PrefetchDepth int
+
+	// PrefetcherKind selects the engine: "" or "stride" is the paper's
+	// Power4-style prefetcher; "sequential" is the tagged sequential
+	// baseline from the related-work comparison.
+	PrefetcherKind string
+
+	// L1 parameters (per core, I and D each).
+	L1Bytes     int
+	L1Ways      int
+	L1HitCycles float64
+
+	// Shared L2.
+	L2Bytes             int
+	L2Ways              int // uncompressed associativity
+	L2TagsPerSet        int // compressed geometry
+	L2SegsPerSet        int
+	L2Banks             int
+	L2HitCycles         float64
+	DecompressionCycles float64
+	L2BankOccupancy     float64
+	// VictimTags per set for the adaptive prefetcher when cache
+	// compression is off (the paper's "four extra tags per set").
+	UncompressedVictimTags int
+
+	// Off-chip memory.
+	Memory memory.Config
+
+	// Core.
+	CPU      cpu.Config
+	ClockGHz float64
+
+	// CollectMissProfile records per-block L2 demand miss counts
+	// (needed only for the Figure 8 classification; costs memory).
+	CollectMissProfile bool
+}
+
+// NewConfig returns the paper's baseline system (Table 1) for a
+// benchmark: 8 cores, 64 KB 4-way L1s (3-cycle), 4 MB 8-banked shared
+// L2 (15-cycle, +5 decompression), 20 GB/s pins, 400-cycle DRAM, all
+// mechanisms off.
+func NewConfig(benchmark string) Config {
+	return Config{
+		Benchmark:    benchmark,
+		Cores:        8,
+		Seed:         1,
+		WarmupInstr:  1_000_000,
+		MeasureInstr: 500_000,
+
+		L1Bytes:     64 * 1024,
+		L1Ways:      4,
+		L1HitCycles: 3,
+
+		L2Bytes:                4 << 20,
+		L2Ways:                 8,
+		L2TagsPerSet:           8,
+		L2SegsPerSet:           32,
+		L2Banks:                8,
+		L2HitCycles:            15,
+		DecompressionCycles:    5,
+		L2BankOccupancy:        4,
+		UncompressedVictimTags: 4,
+
+		Memory:   memory.DefaultConfig(),
+		CPU:      cpu.DefaultConfig(),
+		ClockGHz: 5.0,
+	}
+}
+
+// WithMechanisms returns a copy with the four toggles set: a compact
+// helper for the experiment grids.
+func (c Config) WithMechanisms(cacheCompr, linkCompr, pref, adaptive bool) Config {
+	c.CacheCompression = cacheCompr
+	c.LinkCompression = linkCompr
+	c.Prefetching = pref
+	c.AdaptivePrefetch = adaptive
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if _, err := workload.ByName(c.Benchmark); err != nil {
+		return err
+	}
+	switch {
+	case c.Cores < 1 || c.Cores > 32:
+		return fmt.Errorf("sim: cores %d out of range", c.Cores)
+	case c.MeasureInstr == 0:
+		return fmt.Errorf("sim: MeasureInstr must be positive")
+	case c.L1Bytes <= 0 || c.L1Ways <= 0:
+		return fmt.Errorf("sim: invalid L1 geometry")
+	case c.L2Bytes <= 0 || c.L2Ways <= 0 || c.L2TagsPerSet <= 0 || c.L2SegsPerSet < 8:
+		return fmt.Errorf("sim: invalid L2 geometry")
+	case c.L2Banks <= 0:
+		return fmt.Errorf("sim: L2 banks must be positive")
+	case c.L2HitCycles <= 0 || c.DecompressionCycles < 0 || c.L2BankOccupancy < 0:
+		return fmt.Errorf("sim: invalid L2 latencies")
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("sim: clock must be positive")
+	case c.AdaptivePrefetch && !c.Prefetching:
+		return fmt.Errorf("sim: AdaptivePrefetch requires Prefetching")
+	case c.PrefetcherKind != "" && c.PrefetcherKind != "stride" && c.PrefetcherKind != "sequential":
+		return fmt.Errorf("sim: unknown PrefetcherKind %q", c.PrefetcherKind)
+	}
+	return nil
+}
+
+// MechanismLabel names the active mechanism combination, matching the
+// paper's figure legends.
+func (c Config) MechanismLabel() string {
+	switch {
+	case c.AdaptivePrefetch && (c.CacheCompression || c.LinkCompression):
+		return "adaptive-pf+compression"
+	case c.AdaptivePrefetch:
+		return "adaptive-pf"
+	case c.Prefetching && c.CacheCompression && c.LinkCompression:
+		return "pf+compression"
+	case c.Prefetching && c.CacheCompression:
+		return "pf+cache-compr"
+	case c.Prefetching && c.LinkCompression:
+		return "pf+link-compr"
+	case c.Prefetching:
+		return "pf"
+	case c.CacheCompression && c.LinkCompression:
+		return "compression"
+	case c.CacheCompression:
+		return "cache-compr"
+	case c.LinkCompression:
+		return "link-compr"
+	default:
+		return "base"
+	}
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cmpsim/internal/coherence"
+)
+
+// smallConfig is a scaled-down system that still exercises every
+// mechanism: 4 cores, 512 KB L2, short runs.
+func smallConfig(bench string) Config {
+	cfg := NewConfig(bench)
+	cfg.Cores = 4
+	cfg.L2Bytes = 512 << 10
+	cfg.WarmupInstr = 150_000
+	cfg.MeasureInstr = 80_000
+	return cfg
+}
+
+func run(t *testing.T, cfg Config) Metrics {
+	t.Helper()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunBasicSanity(t *testing.T) {
+	m := run(t, smallConfig("zeus"))
+	if m.Instructions < 4*80_000 {
+		t.Fatalf("instructions = %d", m.Instructions)
+	}
+	if m.Cycles <= 0 || m.IPC <= 0 {
+		t.Fatalf("cycles=%f ipc=%f", m.Cycles, m.IPC)
+	}
+	if m.L2Accesses == 0 || m.L2Misses == 0 {
+		t.Fatalf("L2 accesses=%d misses=%d", m.L2Accesses, m.L2Misses)
+	}
+	if m.L2MissRate <= 0 || m.L2MissRate > 1 {
+		t.Fatalf("miss rate %f", m.L2MissRate)
+	}
+	if m.OffChipBytes == 0 || m.BandwidthGBps <= 0 {
+		t.Fatalf("bytes=%d bw=%f", m.OffChipBytes, m.BandwidthGBps)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := smallConfig("apache")
+	cfg.Prefetching = true
+	cfg.CacheCompression = true
+	cfg.LinkCompression = true
+	m1 := run(t, cfg)
+	m2 := run(t, cfg)
+	if m1.Cycles != m2.Cycles || m1.L2Misses != m2.L2Misses || m1.OffChipBytes != m2.OffChipBytes {
+		t.Fatalf("non-deterministic: %v/%v cycles, %d/%d misses",
+			m1.Cycles, m2.Cycles, m1.L2Misses, m2.L2Misses)
+	}
+}
+
+func TestSeedsChangeResults(t *testing.T) {
+	cfg := smallConfig("apache")
+	m1 := run(t, cfg)
+	cfg.Seed = 2
+	m2 := run(t, cfg)
+	if m1.Cycles == m2.Cycles && m1.L2Misses == m2.L2Misses {
+		t.Fatal("different seeds gave identical results")
+	}
+}
+
+func TestCompressionIncreasesEffectiveSize(t *testing.T) {
+	cfg := smallConfig("jbb") // most compressible benchmark
+	cfg.CacheCompression = true
+	m := run(t, cfg)
+	if m.CompressionRatio <= 1.05 {
+		t.Fatalf("compression ratio %f should exceed 1.05 for jbb", m.CompressionRatio)
+	}
+	if m.L2CompressedHits == 0 {
+		t.Fatal("no compressed hits recorded")
+	}
+	if m.MeanL2HitLatency <= cfg.L2HitCycles {
+		t.Fatalf("mean hit latency %f should include decompression", m.MeanL2HitLatency)
+	}
+}
+
+func TestBaseCacheHasRatioOne(t *testing.T) {
+	cfg := smallConfig("jbb")
+	m := run(t, cfg)
+	if m.CompressionRatio > 1.001 {
+		t.Fatalf("uncompressed cache ratio %f > 1", m.CompressionRatio)
+	}
+	if m.L2CompressedHits != 0 {
+		t.Fatal("uncompressed cache reported compressed hits")
+	}
+}
+
+func TestLinkCompressionReducesBytes(t *testing.T) {
+	cfg := smallConfig("jbb")
+	base := run(t, cfg)
+	cfg.LinkCompression = true
+	lc := run(t, cfg)
+	// Same miss stream, fewer flits per message.
+	if lc.OffChipBytes >= base.OffChipBytes {
+		t.Fatalf("link compression did not reduce bytes: %d vs %d",
+			lc.OffChipBytes, base.OffChipBytes)
+	}
+}
+
+func TestSPECompDataBarelyCompresses(t *testing.T) {
+	cfg := smallConfig("apsi")
+	cfg.CacheCompression = true
+	m := run(t, cfg)
+	if m.CompressionRatio > 1.1 {
+		t.Fatalf("apsi ratio %f should stay near 1", m.CompressionRatio)
+	}
+}
+
+func TestPrefetchingIssuesAndHits(t *testing.T) {
+	cfg := smallConfig("mgrid") // highly strided
+	cfg.Prefetching = true
+	m := run(t, cfg)
+	l2 := m.Engine(coherence.PfL2)
+	if l2.Prefetches == 0 || l2.PrefetchHits == 0 {
+		t.Fatalf("L2 prefetcher idle: %+v", l2)
+	}
+	if l2.Accuracy() <= 0.3 {
+		t.Fatalf("mgrid L2 accuracy %f too low", l2.Accuracy())
+	}
+	// At this scaled-down geometry coverage is modest; the full-scale
+	// value is checked by the Table 4 calibration in EXPERIMENTS.md.
+	if l2.Coverage() <= 0.08 {
+		t.Fatalf("mgrid L2 coverage %f too low", l2.Coverage())
+	}
+	if d := m.Engine(coherence.PfL1D); d.Coverage() <= 0.3 {
+		t.Fatalf("mgrid L1D coverage %f too low", d.Coverage())
+	}
+	// Prefetching must reduce demand misses vs the base run.
+	base := run(t, smallConfig("mgrid"))
+	if m.L2Misses >= base.L2Misses {
+		t.Fatalf("prefetching did not reduce misses: %d vs %d", m.L2Misses, base.L2Misses)
+	}
+}
+
+func TestPrefetchingOffMeansNoPrefetches(t *testing.T) {
+	m := run(t, smallConfig("mgrid"))
+	for src := 0; src < 4; src++ {
+		if m.Engines[src].Prefetches != 0 {
+			t.Fatalf("engine %d issued prefetches with prefetching off", src)
+		}
+	}
+}
+
+func TestAdaptiveThrottlesUselessPrefetching(t *testing.T) {
+	// jbb's short streams make the deep L2 prefetcher inaccurate; the
+	// adaptive controller must cut its issue rate.
+	cfg := smallConfig("jbb")
+	cfg.Prefetching = true
+	pf := run(t, cfg)
+	cfg.AdaptivePrefetch = true
+	ad := run(t, cfg)
+	pfRate := pf.Engine(coherence.PfL2).RatePer1000(pf.Instructions)
+	adRate := ad.Engine(coherence.PfL2).RatePer1000(ad.Instructions)
+	if adRate >= pfRate {
+		t.Fatalf("adaptive L2 rate %f should be below non-adaptive %f", adRate, pfRate)
+	}
+	if ad.Adaptive.Useful == 0 || ad.Adaptive.Useless == 0 {
+		t.Fatalf("adaptive events missing: %+v", ad.Adaptive)
+	}
+}
+
+func TestInfiniteBandwidthFaster(t *testing.T) {
+	cfg := smallConfig("fma3d") // bandwidth-bound
+	finite := run(t, cfg)
+	cfg.Memory.LinkBytesPerCycle = 0
+	infinite := run(t, cfg)
+	if infinite.Cycles >= finite.Cycles {
+		t.Fatalf("infinite bandwidth not faster: %f vs %f", infinite.Cycles, finite.Cycles)
+	}
+	if finite.LinkQueueDelay == 0 {
+		t.Fatal("finite-bandwidth run recorded no queueing")
+	}
+}
+
+func TestMissProfileCollection(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.CollectMissProfile = true
+	m := run(t, cfg)
+	if len(m.MissProfile) == 0 {
+		t.Fatal("miss profile empty")
+	}
+	var total uint64
+	for _, n := range m.MissProfile {
+		total += uint64(n)
+	}
+	if total == 0 || total > m.L2Misses+m.MemFetches {
+		t.Fatalf("profile total %d inconsistent with misses %d", total, m.L2Misses)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Benchmark = "nosuch" },
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 99 },
+		func(c *Config) { c.MeasureInstr = 0 },
+		func(c *Config) { c.L1Bytes = 0 },
+		func(c *Config) { c.L2Bytes = 0 },
+		func(c *Config) { c.L2Banks = 0 },
+		func(c *Config) { c.L2HitCycles = 0 },
+		func(c *Config) { c.ClockGHz = 0 },
+		func(c *Config) { c.AdaptivePrefetch = true; c.Prefetching = false },
+	}
+	for i, mut := range cases {
+		cfg := NewConfig("zeus")
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMechanismLabels(t *testing.T) {
+	cfg := NewConfig("zeus")
+	if cfg.MechanismLabel() != "base" {
+		t.Fatal("base label")
+	}
+	if cfg.WithMechanisms(true, true, false, false).MechanismLabel() != "compression" {
+		t.Fatal("compression label")
+	}
+	if cfg.WithMechanisms(true, true, true, false).MechanismLabel() != "pf+compression" {
+		t.Fatal("pf+compression label")
+	}
+	if cfg.WithMechanisms(true, true, true, true).MechanismLabel() != "adaptive-pf+compression" {
+		t.Fatal("adaptive label")
+	}
+	if cfg.WithMechanisms(false, false, true, false).MechanismLabel() != "pf" {
+		t.Fatal("pf label")
+	}
+}
+
+func TestUniprocessorRuns(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.Cores = 1
+	cfg.Prefetching = true
+	m := run(t, cfg)
+	if m.Cores != 1 || m.Instructions < 80_000 {
+		t.Fatalf("uniprocessor run: %+v", m)
+	}
+}
+
+func TestCommercialVsSPECompCharacter(t *testing.T) {
+	// The commercial workload must show far more L1I misses (large
+	// instruction footprint) than the scientific one.
+	com := run(t, smallConfig("oltp"))
+	sci := run(t, smallConfig("mgrid"))
+	comRate := float64(com.L1IMisses) / float64(com.Instructions)
+	sciRate := float64(sci.L1IMisses) / float64(sci.Instructions)
+	if comRate < 4*sciRate {
+		t.Fatalf("oltp L1I miss rate %g should dwarf mgrid's %g", comRate, sciRate)
+	}
+}
+
+func TestCoherenceActivityOnSharedData(t *testing.T) {
+	m := run(t, smallConfig("oltp")) // highest sharing
+	if m.StoreUpgrades == 0 || m.Invalidations == 0 {
+		t.Fatalf("no coherence activity: %+v", m)
+	}
+}
+
+func TestMeasurementWindowDeltas(t *testing.T) {
+	// Doubling the measurement window should roughly double instructions
+	// but keep per-KI metrics stable.
+	cfg := smallConfig("zeus")
+	m1 := run(t, cfg)
+	cfg.MeasureInstr *= 2
+	m2 := run(t, cfg)
+	if m2.Instructions < m1.Instructions*3/2 {
+		t.Fatalf("instructions did not scale: %d vs %d", m1.Instructions, m2.Instructions)
+	}
+	if m1.L2MissesPerKI == 0 || math.Abs(m2.L2MissesPerKI-m1.L2MissesPerKI) > m1.L2MissesPerKI*0.5 {
+		t.Fatalf("misses/KI unstable: %f vs %f", m1.L2MissesPerKI, m2.L2MissesPerKI)
+	}
+}
+
+func BenchmarkSimZeusBase(b *testing.B) {
+	cfg := smallConfig("zeus")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSequentialPrefetcherKind(t *testing.T) {
+	cfg := smallConfig("mgrid")
+	cfg.Prefetching = true
+	cfg.PrefetcherKind = "sequential"
+	seq := run(t, cfg)
+	l2 := seq.Engine(coherence.PfL2)
+	if l2.Prefetches == 0 {
+		t.Fatal("sequential prefetcher idle")
+	}
+	// The stride engine must beat the sequential baseline on mgrid's
+	// non-unit strides (strides 2 and 3 are invisible to sequential).
+	cfg.PrefetcherKind = "stride"
+	stride := run(t, cfg)
+	if stride.Cycles >= seq.Cycles {
+		t.Fatalf("stride (%f) should beat sequential (%f) on mgrid", stride.Cycles, seq.Cycles)
+	}
+}
+
+func TestUnknownPrefetcherKindRejected(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.PrefetcherKind = "markov"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown prefetcher kind accepted")
+	}
+}

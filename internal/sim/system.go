@@ -1,0 +1,575 @@
+package sim
+
+import (
+	"math/rand"
+
+	"cmpsim/internal/cache"
+	"cmpsim/internal/coherence"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/memory"
+	"cmpsim/internal/prefetch"
+	"cmpsim/internal/workload"
+)
+
+// System is one assembled CMP instance.
+type System struct {
+	cfg  Config
+	prof workload.Profile
+	data *workload.DataModel
+
+	h     *coherence.Hierarchy
+	mem   *memory.System
+	cores []*cpu.Core
+	gens  []*workload.Generator
+
+	// Prefetch engines per core and the adaptive controllers: one per
+	// L1 cache, a single shared one for the L2 (paper §3).
+	engL1I, engL1D, engL2 []prefetch.Prefetcher
+	adL1I, adL1D          []*prefetch.Adaptive
+	adL2                  *prefetch.Adaptive
+
+	bankBusy []float64 // L2 bank reservation
+	inflight map[cache.BlockAddr]float64
+
+	dirtyRng *rand.Rand
+
+	// Simulator-level counters (cumulative; windowed via totals snapshots).
+	pfIssued, pfHits, pfPartial, pfRedundant [4]uint64
+	pfAllocsCount                            [4]uint64
+
+	steps       uint64
+	effSizeSum  float64
+	effSizeN    uint64
+	hitLatSum   float64
+	hitLatN     uint64
+	measuring   bool
+	missProfile map[cache.BlockAddr]uint32
+	ref         workload.Ref
+}
+
+// NewSystem builds a system for cfg; the workload's BaseCPI overrides
+// the CPU config's.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := workload.ByName(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	memCfg := cfg.Memory
+	memCfg.LinkCompression = cfg.LinkCompression
+	s := &System{
+		cfg:      cfg,
+		prof:     prof,
+		data:     workload.NewDataModel(prof, cfg.Seed),
+		mem:      memory.New(memCfg),
+		bankBusy: make([]float64, cfg.L2Banks),
+		inflight: make(map[cache.BlockAddr]float64),
+		dirtyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+	}
+
+	var l2 cache.L2
+	if cfg.CacheCompression {
+		l2 = cache.NewCompressedL2(cfg.L2Bytes, cfg.L2TagsPerSet, cfg.L2SegsPerSet)
+	} else {
+		victims := 0
+		if cfg.AdaptivePrefetch {
+			victims = cfg.UncompressedVictimTags
+		}
+		l2 = cache.NewUncompressedL2(cfg.L2Bytes, cfg.L2Ways, victims)
+	}
+	s.h = coherence.New(coherence.Config{
+		Cores:   cfg.Cores,
+		L1Bytes: cfg.L1Bytes,
+		L1Ways:  cfg.L1Ways,
+		L2:      l2,
+		Size:    s.data.SizeOf,
+	})
+
+	l1cfg := prefetch.L1Config()
+	if cfg.L1PrefetchDepth > 0 {
+		l1cfg.StartupDepth = cfg.L1PrefetchDepth
+	}
+	l2cfg := prefetch.L2Config()
+	if cfg.L2PrefetchDepth > 0 {
+		l2cfg.StartupDepth = cfg.L2PrefetchDepth
+	}
+	cpuCfg := cfg.CPU
+	cpuCfg.BaseCPI = prof.BaseCPI
+	newEngine := func(c prefetch.Config) prefetch.Prefetcher {
+		if cfg.PrefetcherKind == "sequential" {
+			sc := prefetch.DefaultSequentialConfig()
+			sc.Degree = c.StartupDepth / 3 // comparable aggressiveness
+			if sc.Degree < 1 {
+				sc.Degree = 1
+			}
+			return prefetch.NewSequential(sc)
+		}
+		return prefetch.New(c)
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		s.cores = append(s.cores, cpu.New(cpuCfg))
+		s.gens = append(s.gens, workload.NewGenerator(prof, c, cfg.Seed))
+		s.engL1I = append(s.engL1I, newEngine(l1cfg))
+		s.engL1D = append(s.engL1D, newEngine(l1cfg))
+		s.engL2 = append(s.engL2, newEngine(l2cfg))
+		s.adL1I = append(s.adL1I, prefetch.NewAdaptive(l1cfg.StartupDepth))
+		s.adL1D = append(s.adL1D, prefetch.NewAdaptive(l1cfg.StartupDepth))
+	}
+	s.adL2 = prefetch.NewAdaptive(l2cfg.StartupDepth)
+	if cfg.AdaptivePrefetch {
+		for c := 0; c < cfg.Cores; c++ {
+			s.engL1I[c].SetCap(s.adL1I[c].Cap)
+			s.engL1D[c].SetCap(s.adL1D[c].Cap)
+			s.engL2[c].SetCap(s.adL2.Cap)
+		}
+	}
+	if cfg.CollectMissProfile {
+		s.missProfile = make(map[cache.BlockAddr]uint32)
+	}
+	return s, nil
+}
+
+// Run executes warmup then the measurement window and returns Metrics.
+func Run(cfg Config) (Metrics, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return s.run(), nil
+}
+
+func (s *System) run() Metrics {
+	s.phase(s.cfg.WarmupInstr)
+	start := s.rawTotals()
+	startNow := make([]float64, len(s.cores))
+	for i, c := range s.cores {
+		startNow[i] = c.Now
+	}
+	s.measuring = true
+	s.phase(s.cfg.MeasureInstr)
+	for _, c := range s.cores {
+		c.Drain()
+	}
+	s.measuring = false
+	d := s.rawTotals().sub(start)
+
+	var maxElapsed, sumElapsed float64
+	for i, c := range s.cores {
+		e := c.Now - startNow[i]
+		sumElapsed += e
+		if e > maxElapsed {
+			maxElapsed = e
+		}
+	}
+
+	m := Metrics{
+		Benchmark:    s.cfg.Benchmark,
+		Label:        s.cfg.MechanismLabel(),
+		Cores:        s.cfg.Cores,
+		Seed:         s.cfg.Seed,
+		Instructions: d.instr,
+		Cycles:       maxElapsed,
+		Seconds:      maxElapsed / (s.cfg.ClockGHz * 1e9),
+		L1IAccesses:  d.l1iAcc, L1IMisses: d.l1iMiss,
+		L1DAccesses: d.l1dAcc, L1DMisses: d.l1dMiss,
+		L2Accesses: d.l2Acc, L2Misses: d.l2Miss,
+		L2CompressedHits: d.l2ComprHits,
+		MemFetches:       d.memFetches,
+		MemWritebacks:    d.memWritebacks,
+		OffChipBytes:     d.linkBytes,
+		LinkQueueDelay:   s.mem.Data.QueueDelay,
+		DRAMQueueDelay:   s.mem.DRAMWaits,
+		StoreUpgrades:    d.storeUpgrades,
+		DirtyForwards:    d.dirtyForwards,
+		Invalidations:    d.invals,
+		Adaptive:         AdaptiveMetrics{Useful: d.adUseful, Useless: d.adUseless, Harmful: d.adHarmful, FinalCapL2: s.adL2.Cap()},
+		MissProfile:      s.missProfile,
+	}
+	if maxElapsed > 0 {
+		m.IPC = float64(d.instr) / maxElapsed
+		m.BandwidthGBps = float64(d.linkBytes) / 1e9 / m.Seconds
+		m.LinkUtilization = d.linkBusy / maxElapsed
+	}
+	if d.l2Acc > 0 {
+		m.L2MissRate = float64(d.l2Miss) / float64(d.l2Acc)
+	}
+	if d.instr > 0 {
+		m.L2MissesPerKI = float64(d.l2Miss) * 1000 / float64(d.instr)
+	}
+	if s.effSizeN > 0 {
+		m.EffectiveL2Bytes = s.effSizeSum / float64(s.effSizeN)
+		m.CompressionRatio = m.EffectiveL2Bytes / float64(s.cfg.L2Bytes)
+	}
+	if s.hitLatN > 0 {
+		m.MeanL2HitLatency = s.hitLatSum / float64(s.hitLatN)
+	}
+	for src := 0; src < 4; src++ {
+		m.Engines[src] = EngineMetrics{
+			Prefetches:   d.pfIssued[src],
+			Redundant:    d.pfRedundant[src],
+			PrefetchHits: d.pfHits[src],
+			PartialHits:  d.pfPartial[src],
+			StreamAllocs: d.pfAllocs[src],
+		}
+	}
+	for c := range s.cores {
+		m.Adaptive.FinalCapL1I += float64(s.adL1I[c].Cap()) / float64(len(s.cores))
+		m.Adaptive.FinalCapL1D += float64(s.adL1D[c].Cap()) / float64(len(s.cores))
+	}
+	m.Engines[coherence.PfL1I].DemandMisses = d.l1iMiss
+	m.Engines[coherence.PfL1D].DemandMisses = d.l1dMiss
+	m.Engines[coherence.PfL2].DemandMisses = d.l2Miss
+	return m
+}
+
+// phase runs every core for n further instructions (by generator count).
+func (s *System) phase(n uint64) {
+	if n == 0 {
+		return
+	}
+	targets := make([]uint64, len(s.gens))
+	for i, g := range s.gens {
+		targets[i] = g.Instructions + n
+	}
+	for {
+		c := -1
+		for i := range s.cores {
+			if s.gens[i].Instructions >= targets[i] {
+				continue
+			}
+			if c == -1 || s.cores[i].Now < s.cores[c].Now {
+				c = i
+			}
+		}
+		if c == -1 {
+			return
+		}
+		s.step(c)
+	}
+}
+
+// step advances core c by one generated reference.
+func (s *System) step(c int) {
+	s.steps++
+	if s.steps&0x1FFF == 0 {
+		s.sampleEffectiveSize()
+		if s.steps&0xFFFFF == 0 {
+			s.pruneInflight()
+		}
+	}
+	g := s.gens[c]
+	core := s.cores[c]
+	g.Next(&s.ref)
+	core.Advance(uint64(s.ref.Gap))
+	now := core.Now
+	kind := s.ref.Kind
+	addr := s.ref.Addr
+
+	if kind == coherence.Store && s.dirtyRng.Float64() < s.prof.StoreDirtyProb {
+		s.data.Dirty(addr)
+	}
+
+	r := s.h.Access(c, kind, addr)
+
+	// Adaptive-controller events and per-engine attribution.
+	ad := s.adL1D[c]
+	eng := s.engL1D[c]
+	if kind == coherence.IFetch {
+		ad = s.adL1I[c]
+		eng = s.engL1I[c]
+	}
+	partial := s.resolveInflight(addr, now, r)
+	if r.L1PrefetchHit {
+		ad.Useful()
+	}
+	if r.L2PrefetchHit {
+		s.adL2.Useful()
+	}
+	for i := 0; i < r.L1UselessEvict; i++ {
+		ad.Useless()
+	}
+	for i := 0; i < r.L2UselessEvict; i++ {
+		s.adL2.Useless()
+	}
+	if r.L1Harmful {
+		ad.Harmful()
+	}
+	if r.L2Harmful {
+		s.adL2.Harmful()
+	}
+
+	// Timing.
+	blocking := s.ref.Blocking || kind == coherence.IFetch
+	if r.L1Hit {
+		if partial > now {
+			core.IssueMiss(partial, blocking)
+		}
+	} else {
+		done := s.l2Time(now, addr, &r)
+		if partial > done {
+			done = partial
+		}
+		for _, wb := range r.Writebacks {
+			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+		}
+		if r.MemFetch && s.measuring && s.missProfile != nil {
+			s.missProfile[addr]++
+		}
+		core.IssueMiss(done, blocking)
+	}
+
+	if s.cfg.Prefetching {
+		s.drivePrefetchers(c, kind, addr, now, &r, eng)
+	}
+}
+
+// resolveInflight handles partial hits: the first demand reference to a
+// block whose prefetch is still in flight waits for it. Returns the
+// in-flight completion time (or 0) and updates attribution counters.
+func (s *System) resolveInflight(addr cache.BlockAddr, now float64, r coherence.AccessResult) float64 {
+	src := coherence.PfNone
+	if r.L1PrefetchHit {
+		src = r.L1PfBy
+	} else if r.L2PrefetchHit {
+		src = r.L2PfBy
+	}
+	if src == coherence.PfNone {
+		return 0
+	}
+	t, ok := s.inflight[addr]
+	if ok {
+		delete(s.inflight, addr)
+	}
+	if ok && t > now {
+		s.pfPartial[src]++
+		return t
+	}
+	s.pfHits[src]++
+	return 0
+}
+
+// l2Time prices an L1-missing access: L2 bank reservation, hit latency
+// (plus decompression and dirty-forward penalties) or the full memory
+// round trip.
+func (s *System) l2Time(now float64, addr cache.BlockAddr, r *coherence.AccessResult) float64 {
+	st := s.reserveBank(addr, now)
+	if r.L2Hit {
+		lat := s.cfg.L2HitCycles
+		if r.L2CompressedHit {
+			lat += s.cfg.DecompressionCycles
+		}
+		if r.DirtyForward {
+			lat += s.cfg.L2HitCycles // retrieve data from the remote L1
+		}
+		s.hitLatSum += lat
+		s.hitLatN++
+		return st + lat
+	}
+	// Miss: the request leaves the chip after the tag lookup.
+	reqAt := st + s.cfg.L2HitCycles
+	done := s.mem.Fetch(reqAt, addr, r.FetchSegs)
+	if s.cfg.LinkCompression || s.cfg.CacheCompression {
+		done += s.cfg.DecompressionCycles
+	}
+	return done
+}
+
+// reserveBank applies the L2 bank occupancy model and returns the cycle
+// the bank starts serving the request.
+func (s *System) reserveBank(addr cache.BlockAddr, now float64) float64 {
+	bank := int(uint64(addr) % uint64(len(s.bankBusy)))
+	st := now
+	if s.bankBusy[bank] > st {
+		st = s.bankBusy[bank]
+	}
+	s.bankBusy[bank] = st + s.cfg.L2BankOccupancy
+	return st
+}
+
+// drivePrefetchers feeds the three engines with this access and issues
+// whatever they request.
+func (s *System) drivePrefetchers(c int, kind coherence.Kind, addr cache.BlockAddr, now float64, r *coherence.AccessResult, eng prefetch.Prefetcher) {
+	src := coherence.PfL1D
+	if kind == coherence.IFetch {
+		src = coherence.PfL1I
+	}
+	// L1 engine: stream advance on every access; training on misses.
+	reqs := eng.OnAccess(addr)
+	if len(reqs) == 0 && !r.L1Hit {
+		allocs := eng.Allocations()
+		reqs = eng.OnMiss(addr)
+		if eng.Allocations() > allocs {
+			s.pfAllocsDelta(src)
+			// An L1 stream triggers an L2 stream along the same stride.
+			l2reqs := s.engL2[c].TriggerStream(addr, eng.StreamStride())
+			if len(l2reqs) > 0 {
+				s.pfAllocsDelta(coherence.PfL2)
+			}
+			s.issueL2Prefetches(c, now, l2reqs)
+			// reqs still aliases eng's buffer: TriggerStream used engL2's.
+		}
+	}
+	s.issueL1Prefetches(c, kind, src, now, reqs)
+
+	// L2 engine sees the L2-level reference stream (L1 misses).
+	if !r.L1Hit {
+		l2eng := s.engL2[c]
+		l2reqs := l2eng.OnAccess(addr)
+		if len(l2reqs) == 0 && !r.L2Hit {
+			allocs := l2eng.Allocations()
+			l2reqs = l2eng.OnMiss(addr)
+			if l2eng.Allocations() > allocs {
+				s.pfAllocsDelta(coherence.PfL2)
+			}
+		}
+		s.issueL2Prefetches(c, now, l2reqs)
+	}
+}
+
+// pfAllocsDelta tracks stream allocations per engine class.
+func (s *System) pfAllocsDelta(src coherence.PfSource) {
+	s.pfAllocsCount[src]++
+}
+
+// issueL1Prefetches sends L1 prefetch fills through the hierarchy with
+// full timing (bank, link, DRAM) and in-flight tracking.
+func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfSource, now float64, reqs []cache.BlockAddr) {
+	pfKind := coherence.Load
+	if kind == coherence.IFetch {
+		pfKind = coherence.IFetch
+	}
+	ad := s.adL1D[c]
+	if kind == coherence.IFetch {
+		ad = s.adL1I[c]
+	}
+	for _, a := range reqs {
+		out := s.h.PrefetchL1(c, pfKind, a, src)
+		if out.AlreadyPresent {
+			s.pfRedundant[src]++
+			continue
+		}
+		s.pfIssued[src]++
+		if out.L2PrefetchHit {
+			// The L1 prefetch consumed an L2 prefetched line: credit the
+			// prefetcher that staged it and its adaptive controller.
+			if t, ok := s.inflight[a]; ok && t > now {
+				s.pfPartial[out.L2PfBy]++
+				delete(s.inflight, a)
+			} else {
+				s.pfHits[out.L2PfBy]++
+			}
+			s.adL2.Useful()
+		}
+		var done float64
+		st := s.reserveBank(a, now)
+		if out.MemFetch {
+			done = s.mem.Fetch(st+s.cfg.L2HitCycles, a, out.FetchSegs)
+			if s.cfg.LinkCompression || s.cfg.CacheCompression {
+				done += s.cfg.DecompressionCycles
+			}
+		} else {
+			lat := s.cfg.L2HitCycles
+			if out.L2Compressed {
+				lat += s.cfg.DecompressionCycles
+			}
+			done = st + lat
+		}
+		for _, wb := range out.Writebacks {
+			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+		}
+		s.inflight[a] = done
+		for i := 0; i < out.L1UselessEvict; i++ {
+			ad.Useless()
+		}
+		for i := 0; i < out.L2UselessEvict; i++ {
+			s.adL2.Useless()
+		}
+	}
+}
+
+// issueL2Prefetches sends L2 prefetch fills to memory.
+func (s *System) issueL2Prefetches(c int, now float64, reqs []cache.BlockAddr) {
+	for _, a := range reqs {
+		out := s.h.PrefetchL2(c, a, coherence.PfL2)
+		if out.AlreadyPresent {
+			s.pfRedundant[coherence.PfL2]++
+			continue
+		}
+		s.pfIssued[coherence.PfL2]++
+		st := s.reserveBank(a, now)
+		done := s.mem.Fetch(st+s.cfg.L2HitCycles, a, out.FetchSegs)
+		for _, wb := range out.Writebacks {
+			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+		}
+		s.inflight[a] = done
+		for i := 0; i < out.L2UselessEvict; i++ {
+			s.adL2.Useless()
+		}
+	}
+}
+
+// sampleEffectiveSize accumulates the effective-cache-size time average
+// (only while measuring, matching the paper's periodic measurement).
+func (s *System) sampleEffectiveSize() {
+	if !s.measuring {
+		return
+	}
+	s.effSizeSum += float64(s.h.L2.ValidLines() * cache.LineBytes)
+	s.effSizeN++
+}
+
+// pruneInflight drops completed in-flight entries so the map stays small.
+func (s *System) pruneInflight() {
+	minNow := s.cores[0].Now
+	for _, c := range s.cores[1:] {
+		if c.Now < minNow {
+			minNow = c.Now
+		}
+	}
+	for a, t := range s.inflight {
+		if t < minNow {
+			delete(s.inflight, a)
+		}
+	}
+}
+
+// rawTotals snapshots every cumulative counter.
+func (s *System) rawTotals() totals {
+	var t totals
+	for i := range s.cores {
+		t.instr += s.gens[i].Instructions
+		st := &s.h.L1I[i].Stats
+		t.l1iAcc += st.Accesses
+		t.l1iMiss += st.Misses
+		sd := &s.h.L1D[i].Stats
+		t.l1dAcc += sd.Accesses
+		t.l1dMiss += sd.Misses
+		t.adUseful += s.adL1I[i].UsefulEvents + s.adL1D[i].UsefulEvents
+		t.adUseless += s.adL1I[i].UselessEvents + s.adL1D[i].UselessEvents
+		t.adHarmful += s.adL1I[i].HarmfulEvents + s.adL1D[i].HarmfulEvents
+	}
+	l2 := s.h.L2.BaseStats()
+	t.l2Acc = l2.Accesses
+	t.l2Miss = l2.Misses
+	t.l2Evict = l2.Evictions
+	t.l2Useless = l2.UselessPf
+	t.l2ComprHits = s.h.L2.CompressedHitCount()
+	t.adUseful += s.adL2.UsefulEvents
+	t.adUseless += s.adL2.UselessEvents
+	t.adHarmful += s.adL2.HarmfulEvents
+	t.memFetches = s.mem.Fetches
+	t.memWritebacks = s.mem.Writebacks
+	t.linkBytes = s.mem.Data.TotalBytes // demand metric: data-bus bytes (addresses ride separate pins)
+	t.linkBusy = s.mem.DataBusyCycles()
+	t.pfIssued = s.pfIssued
+	t.pfHits = s.pfHits
+	t.pfPartial = s.pfPartial
+	t.pfRedundant = s.pfRedundant
+	t.pfAllocs = s.pfAllocsCount
+	t.storeUpgrades = s.h.StoreUpgrades
+	t.dirtyForwards = s.h.DirtyForwards
+	t.invals = s.h.CoherenceInval + s.h.InclusionInval
+	return t
+}

@@ -15,6 +15,11 @@ import (
 )
 
 // benchOptions is the scaled-down system all exhibit benchmarks use.
+// Workers is left 0: the drivers fan seed runs out on the process-wide
+// scheduler (one worker per CPU) and share its memoized point cache
+// across exhibits, exactly as cmd/experiments does — so e.g. the
+// compression benches reuse each other's points, and rerunning a bench
+// (b.N > 1) measures the cache, not the simulator.
 func benchOptions() core.Options {
 	return core.Options{
 		Cores:         4,
@@ -23,6 +28,29 @@ func benchOptions() core.Options {
 		Measure:       150_000,
 		BandwidthGBps: 10, // half the pins for half the cores
 		L2MB:          2,
+	}
+}
+
+// The scheduler benchmarks run the same study on private, empty caches
+// so the serial/parallel wall-clock ratio measures true fan-out speedup
+// (the acceptance comparison), uncontaminated by cross-bench caching.
+
+func BenchmarkSchedulerSerial(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 1
+	for i := 0; i < b.N; i++ {
+		s := core.NewScheduler(1)
+		s.CompressionStudy(core.CommercialBenchmarks(), o)
+		s.Close()
+	}
+}
+
+func BenchmarkSchedulerParallel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		s := core.NewScheduler(0)
+		s.CompressionStudy(core.CommercialBenchmarks(), o)
+		s.Close()
 	}
 }
 

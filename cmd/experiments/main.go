@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -28,11 +29,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run    = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
-		quick  = flag.Bool("quick", false, "scaled-down runs (fast, noisier)")
-		seeds  = flag.Int("seeds", 0, "override seeds per data point")
-		list   = flag.Bool("list", false, "list experiment names and exit")
-		format = flag.String("format", "text", "output format: text, json or csv (csv where supported)")
+		run        = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+		quick      = flag.Bool("quick", false, "scaled-down runs (fast, noisier)")
+		seeds      = flag.Int("seeds", 0, "override seeds per data point")
+		workers    = flag.Int("workers", 0, "concurrent seed simulations (0 = one per CPU, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		format     = flag.String("format", "text", "output format: text, json or csv (csv where supported)")
 	)
 	flag.Parse()
 	outFormat = *format
@@ -43,6 +46,21 @@ func main() {
 	}
 	if *seeds > 0 {
 		o.Seeds = *seeds
+	}
+	o.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	all := experimentTable(o)
@@ -65,16 +83,30 @@ func main() {
 	} else {
 		selected = strings.Split(*run, ",")
 	}
+	// Per-study wall-clock and cache effectiveness: the scheduler
+	// memoizes every unique data point, so studies sharing points (e.g.
+	// table3/fig3/fig5, or any study's Base runs) simulate them once.
+	sched := core.DefaultScheduler()
+	suiteStart := time.Now()
 	for _, name := range selected {
 		fn, ok := all[strings.TrimSpace(name)]
 		if !ok {
 			log.Fatalf("unknown experiment %q (use -list)", name)
 		}
+		before := sched.Stats()
 		start := time.Now()
 		fn()
-		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Second))
+		d := sched.Stats()
+		fmt.Fprintf(os.Stderr, "[%s done in %s: %d points simulated (%d runs), %d served from cache]\n",
+			name, time.Since(start).Round(time.Millisecond),
+			d.Unique-before.Unique, d.SeedRuns-before.SeedRuns,
+			d.Cached()-before.Cached())
 		fmt.Println()
 	}
+	total := sched.Stats()
+	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d workers]\n",
+		time.Since(suiteStart).Round(time.Millisecond),
+		total.Unique, total.Cached(), sched.Workers())
 }
 
 // outFormat selects text (paper-style tables), json, or csv output.

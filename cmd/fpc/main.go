@@ -41,6 +41,8 @@ func main() {
 	var hist [8]int
 	sizeHist := make([]int, fpc.MaxSegments+1)
 	buf := make([]byte, fpc.LineSize)
+	encBuf := make([]byte, 0, fpc.LineSize)
+	dec := make([]byte, fpc.LineSize)
 	for {
 		n, err := io.ReadFull(in, buf)
 		if err == io.EOF {
@@ -65,9 +67,9 @@ func main() {
 			hist[i] += c
 		}
 		if *verify {
-			enc, s := fpc.Encode(buf)
-			dec, err := fpc.Decode(enc, s)
-			if err != nil {
+			var s int
+			encBuf, s = fpc.AppendEncode(encBuf[:0], buf)
+			if err := fpc.DecodeInto(dec, encBuf, s); err != nil {
 				log.Fatalf("block %d: decode: %v", blocks, err)
 			}
 			for i := range dec {

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
@@ -72,6 +73,8 @@ func (m Mechanisms) Label() string {
 type Options struct {
 	Cores         int
 	Seeds         int     // independent runs per data point
+	Workers       int     // concurrent seed simulations; <= 0 = one per CPU
+
 	Warmup        uint64  // instructions per core
 	Measure       uint64  // instructions per core
 	BandwidthGBps float64 // pin bandwidth; 0 = infinite (demand metric)
@@ -160,26 +163,22 @@ func (p Point) Mean(f func(*sim.Metrics) float64) float64 {
 	return sum / float64(len(p.Runs))
 }
 
-// Run measures one data point.
+// workerCount resolves Options.Workers: values below 1 mean one worker
+// per CPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run measures one data point on the process-wide scheduler: its seeds
+// fan out over the worker pool and the result is memoized, so repeated
+// requests for the same point (from any study) simulate only once. A
+// returned Point (and its error, for invalid requests) is bit-identical
+// to a serial run: seeds are fixed and collected in order.
 func Run(bench string, m Mechanisms, o Options) (Point, error) {
-	if o.Seeds < 1 {
-		return Point{}, fmt.Errorf("core: Seeds must be at least 1")
-	}
-	if _, err := workload.ByName(bench); err != nil {
-		return Point{}, err
-	}
-	p := Point{Benchmark: bench, Mechanisms: m}
-	var runtimes []float64
-	for s := 0; s < o.Seeds; s++ {
-		met, err := sim.Run(o.config(bench, m, int64(s)+1))
-		if err != nil {
-			return Point{}, err
-		}
-		p.Runs = append(p.Runs, met)
-		runtimes = append(runtimes, met.Cycles)
-	}
-	p.Runtime = stats.Summarize(runtimes)
-	return p, nil
+	return sharedScheduler(o).Submit(bench, m, o).Wait()
 }
 
 // MustRun is Run for drivers iterating known-good benchmark names.

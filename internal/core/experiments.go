@@ -6,6 +6,14 @@ import (
 	"cmpsim/internal/stats"
 )
 
+// Every study driver follows the same submit-then-collect pattern: all
+// of a study's data points are submitted to the scheduler first (fanning
+// seed-level jobs over the worker pool, deduplicated against the point
+// cache), then collected in paper order. Rows are therefore emitted in
+// the same order, with bit-identical metrics, as the old serial drivers.
+// The package-level functions run on the process-wide scheduler; the
+// Scheduler methods allow isolated caches (tests, ablation harnesses).
+
 // CompressionRow is one benchmark's compression study results:
 // Table 3 (ratio), Figure 3 (miss-rate reduction) and Figure 5
 // (speedups of the three compression configurations).
@@ -22,12 +30,27 @@ type CompressionRow struct {
 
 // CompressionStudy regenerates Table 3, Figure 3 and Figure 5.
 func CompressionStudy(benchmarks []string, o Options) []CompressionRow {
-	var rows []CompressionRow
-	for _, b := range benchmarks {
-		base := MustRun(b, Base, o)
-		cc := MustRun(b, CacheCompr, o)
-		lc := MustRun(b, LinkCompr, o)
-		both := MustRun(b, Compression, o)
+	return sharedScheduler(o).CompressionStudy(benchmarks, o)
+}
+
+// CompressionStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) CompressionStudy(benchmarks []string, o Options) []CompressionRow {
+	type futures struct{ base, cc, lc, both *PointFuture }
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = futures{
+			base: s.Submit(b, Base, o),
+			cc:   s.Submit(b, CacheCompr, o),
+			lc:   s.Submit(b, LinkCompr, o),
+			both: s.Submit(b, Compression, o),
+		}
+	}
+	rows := make([]CompressionRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		base := subs[i].base.MustWait()
+		cc := subs[i].cc.MustWait()
+		lc := subs[i].lc.MustWait()
+		both := subs[i].both.MustWait()
 		rows = append(rows, CompressionRow{
 			Benchmark:        b,
 			Ratio:            cc.Mean(func(m *sim.Metrics) float64 { return m.CompressionRatio }),
@@ -64,18 +87,33 @@ type BandwidthRow struct {
 // BandwidthStudy regenerates Figure 4. It forces infinite pin bandwidth
 // (the paper's demand definition).
 func BandwidthStudy(benchmarks []string, o Options) []BandwidthRow {
+	return sharedScheduler(o).BandwidthStudy(benchmarks, o)
+}
+
+// BandwidthStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) BandwidthStudy(benchmarks []string, o Options) []BandwidthRow {
 	o.BandwidthGBps = 0
+	type futures struct{ none, cache, link, both *PointFuture }
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = futures{
+			none:  s.Submit(b, Base, o),
+			cache: s.Submit(b, CacheCompr, o),
+			link:  s.Submit(b, LinkCompr, o),
+			both:  s.Submit(b, Compression, o),
+		}
+	}
 	bw := func(p Point) float64 {
 		return p.Mean(func(m *sim.Metrics) float64 { return m.BandwidthGBps })
 	}
-	var rows []BandwidthRow
-	for _, b := range benchmarks {
+	rows := make([]BandwidthRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
 		rows = append(rows, BandwidthRow{
 			Benchmark: b,
-			None:      bw(MustRun(b, Base, o)),
-			CacheOnly: bw(MustRun(b, CacheCompr, o)),
-			LinkOnly:  bw(MustRun(b, LinkCompr, o)),
-			Both:      bw(MustRun(b, Compression, o)),
+			None:      bw(subs[i].none.MustWait()),
+			CacheOnly: bw(subs[i].cache.MustWait()),
+			LinkOnly:  bw(subs[i].link.MustWait()),
+			Both:      bw(subs[i].both.MustWait()),
 		})
 	}
 	return rows
@@ -100,9 +138,18 @@ type PrefetcherProps struct {
 // PrefetchProperties regenerates Table 4 (prefetching on, compression
 // off, as in the paper's §4.3).
 func PrefetchProperties(benchmarks []string, o Options) []PrefetchPropsRow {
-	var rows []PrefetchPropsRow
-	for _, b := range benchmarks {
-		p := MustRun(b, Prefetch, o)
+	return sharedScheduler(o).PrefetchProperties(benchmarks, o)
+}
+
+// PrefetchProperties is the scheduler-scoped form of the package function.
+func (s *Scheduler) PrefetchProperties(benchmarks []string, o Options) []PrefetchPropsRow {
+	subs := make([]*PointFuture, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = s.Submit(b, Prefetch, o)
+	}
+	rows := make([]PrefetchPropsRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		p := subs[i].MustWait()
 		props := func(src coherence.PfSource) PrefetcherProps {
 			var pr PrefetcherProps
 			for i := range p.Runs {
@@ -136,15 +183,27 @@ type PrefetchSpeedupRow struct {
 
 // PrefetchStudy regenerates Figure 6.
 func PrefetchStudy(benchmarks []string, o Options) []PrefetchSpeedupRow {
-	var rows []PrefetchSpeedupRow
-	for _, b := range benchmarks {
-		base := MustRun(b, Base, o)
-		pf := MustRun(b, Prefetch, o)
-		ad := MustRun(b, AdaptivePf, o)
+	return sharedScheduler(o).PrefetchStudy(benchmarks, o)
+}
+
+// PrefetchStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) PrefetchStudy(benchmarks []string, o Options) []PrefetchSpeedupRow {
+	type futures struct{ base, pf, ad *PointFuture }
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = futures{
+			base: s.Submit(b, Base, o),
+			pf:   s.Submit(b, Prefetch, o),
+			ad:   s.Submit(b, AdaptivePf, o),
+		}
+	}
+	rows := make([]PrefetchSpeedupRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		base := subs[i].base.MustWait()
 		rows = append(rows, PrefetchSpeedupRow{
 			Benchmark:          b,
-			SpeedupPct:         stats.SpeedupPct(Speedup(base, pf)),
-			AdaptiveSpeedupPct: stats.SpeedupPct(Speedup(base, ad)),
+			SpeedupPct:         stats.SpeedupPct(Speedup(base, subs[i].pf.MustWait())),
+			AdaptiveSpeedupPct: stats.SpeedupPct(Speedup(base, subs[i].ad.MustWait())),
 		})
 	}
 	return rows
@@ -165,36 +224,51 @@ type InteractionRow struct {
 // InteractionStudy regenerates Table 5, Figure 9 and the Figure 7 demand
 // ratios (the latter on infinite pins).
 func InteractionStudy(benchmarks []string, o Options) []InteractionRow {
-	var rows []InteractionRow
-	for _, b := range benchmarks {
-		base := MustRun(b, Base, o)
-		pf := MustRun(b, Prefetch, o)
-		compr := MustRun(b, Compression, o)
-		both := MustRun(b, PrefCompr, o)
-		adBoth := MustRun(b, AdaptiveCompr, o)
+	return sharedScheduler(o).InteractionStudy(benchmarks, o)
+}
 
-		sp := Speedup(base, pf)
-		sc := Speedup(base, compr)
-		sb := Speedup(base, both)
-
-		// Figure 7 bandwidth demand, infinite pins.
-		oInf := o
-		oInf.BandwidthGBps = 0
-		bw := func(m Mechanisms) float64 {
-			return MustRun(b, m, oInf).Mean(func(mm *sim.Metrics) float64 { return mm.BandwidthGBps })
+// InteractionStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) InteractionStudy(benchmarks []string, o Options) []InteractionRow {
+	oInf := o
+	oInf.BandwidthGBps = 0 // Figure 7 bandwidth demand, infinite pins
+	type futures struct {
+		base, pf, compr, both, adBoth *PointFuture
+		bwBase, bwPf, bwBoth          *PointFuture
+	}
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = futures{
+			base:   s.Submit(b, Base, o),
+			pf:     s.Submit(b, Prefetch, o),
+			compr:  s.Submit(b, Compression, o),
+			both:   s.Submit(b, PrefCompr, o),
+			adBoth: s.Submit(b, AdaptiveCompr, o),
+			bwBase: s.Submit(b, Base, oInf),
+			bwPf:   s.Submit(b, Prefetch, oInf),
+			bwBoth: s.Submit(b, PrefCompr, oInf),
 		}
-		bwBase := bw(Base)
+	}
+	bw := func(f *PointFuture) float64 {
+		return f.MustWait().Mean(func(m *sim.Metrics) float64 { return m.BandwidthGBps })
+	}
+	rows := make([]InteractionRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		base := subs[i].base.MustWait()
+		sp := Speedup(base, subs[i].pf.MustWait())
+		sc := Speedup(base, subs[i].compr.MustWait())
+		sb := Speedup(base, subs[i].both.MustWait())
+
 		row := InteractionRow{
 			Benchmark:       b,
 			PrefPct:         stats.SpeedupPct(sp),
 			ComprPct:        stats.SpeedupPct(sc),
 			BothPct:         stats.SpeedupPct(sb),
-			AdaptiveBothPct: stats.SpeedupPct(Speedup(base, adBoth)),
+			AdaptiveBothPct: stats.SpeedupPct(Speedup(base, subs[i].adBoth.MustWait())),
 			InteractionPct:  stats.InteractionPct(sp, sc, sb),
 		}
-		if bwBase > 0 {
-			row.BWBasePrefGrowthPct = (bw(Prefetch)/bwBase - 1) * 100
-			row.BWComprPrefGrowthPct = (bw(PrefCompr)/bwBase - 1) * 100
+		if bwBase := bw(subs[i].bwBase); bwBase > 0 {
+			row.BWBasePrefGrowthPct = (bw(subs[i].bwPf)/bwBase - 1) * 100
+			row.BWComprPrefGrowthPct = (bw(subs[i].bwBoth)/bwBase - 1) * 100
 		}
 		rows = append(rows, row)
 	}
@@ -213,16 +287,35 @@ type AdaptiveRow struct {
 // AdaptiveStudy regenerates Figure 10 (the paper shows the commercial
 // workloads, where adaptation matters).
 func AdaptiveStudy(benchmarks []string, o Options) []AdaptiveRow {
-	var rows []AdaptiveRow
-	for _, b := range benchmarks {
-		base := MustRun(b, Base, o)
-		sp := func(m Mechanisms) float64 { return stats.SpeedupPct(Speedup(base, MustRun(b, m, o))) }
+	return sharedScheduler(o).AdaptiveStudy(benchmarks, o)
+}
+
+// AdaptiveStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) AdaptiveStudy(benchmarks []string, o Options) []AdaptiveRow {
+	mechs := []Mechanisms{Prefetch, AdaptivePf, PrefCompr, AdaptiveCompr}
+	type futures struct {
+		base *PointFuture
+		enh  [4]*PointFuture
+	}
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i].base = s.Submit(b, Base, o)
+		for j, m := range mechs {
+			subs[i].enh[j] = s.Submit(b, m, o)
+		}
+	}
+	rows := make([]AdaptiveRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		base := subs[i].base.MustWait()
+		sp := func(j int) float64 {
+			return stats.SpeedupPct(Speedup(base, subs[i].enh[j].MustWait()))
+		}
 		rows = append(rows, AdaptiveRow{
 			Benchmark:        b,
-			PrefPct:          sp(Prefetch),
-			AdaptivePct:      sp(AdaptivePf),
-			PrefComprPct:     sp(PrefCompr),
-			AdaptiveComprPct: sp(AdaptiveCompr),
+			PrefPct:          sp(0),
+			AdaptivePct:      sp(1),
+			PrefComprPct:     sp(2),
+			AdaptiveComprPct: sp(3),
 		})
 	}
 	return rows
@@ -244,14 +337,29 @@ type MissClassRow struct {
 // of the base, compression-only, prefetch-only and combined runs and
 // inclusion–exclusion, as the paper describes.
 func MissClassification(benchmarks []string, o Options) []MissClassRow {
+	return sharedScheduler(o).MissClassification(benchmarks, o)
+}
+
+// MissClassification is the scheduler-scoped form of the package function.
+func (s *Scheduler) MissClassification(benchmarks []string, o Options) []MissClassRow {
 	o.CollectMissProfile = true
 	o.Seeds = 1
-	var rows []MissClassRow
-	for _, b := range benchmarks {
-		base := MustRun(b, Base, o).Runs[0]
-		compr := MustRun(b, CacheCompr, o).Runs[0]
-		pf := MustRun(b, Prefetch, o).Runs[0]
-		both := MustRun(b, PrefCompr, o).Runs[0]
+	type futures struct{ base, compr, pf, both *PointFuture }
+	subs := make([]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = futures{
+			base:  s.Submit(b, Base, o),
+			compr: s.Submit(b, CacheCompr, o),
+			pf:    s.Submit(b, Prefetch, o),
+			both:  s.Submit(b, PrefCompr, o),
+		}
+	}
+	rows := make([]MissClassRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		base := subs[i].base.MustWait().Runs[0]
+		compr := subs[i].compr.MustWait().Runs[0]
+		pf := subs[i].pf.MustWait().Runs[0]
+		both := subs[i].both.MustWait().Runs[0]
 
 		var total, onlyC, onlyP, either float64
 		for blk, m0 := range base.MissProfile {
@@ -306,16 +414,34 @@ type BandwidthSweepRow struct {
 
 // BandwidthSweep regenerates Figure 11 (10-80 GB/s).
 func BandwidthSweep(benchmarks []string, bandwidths []int, o Options) []BandwidthSweepRow {
-	var rows []BandwidthSweepRow
-	for _, b := range benchmarks {
-		row := BandwidthSweepRow{Benchmark: b, InteractionPct: map[int]float64{}}
-		for _, gb := range bandwidths {
+	return sharedScheduler(o).BandwidthSweep(benchmarks, bandwidths, o)
+}
+
+// BandwidthSweep is the scheduler-scoped form of the package function.
+func (s *Scheduler) BandwidthSweep(benchmarks []string, bandwidths []int, o Options) []BandwidthSweepRow {
+	type futures struct{ base, pf, compr, both *PointFuture }
+	subs := make([][]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = make([]futures, len(bandwidths))
+		for j, gb := range bandwidths {
 			ob := o
 			ob.BandwidthGBps = float64(gb)
-			base := MustRun(b, Base, ob)
-			sp := Speedup(base, MustRun(b, Prefetch, ob))
-			sc := Speedup(base, MustRun(b, Compression, ob))
-			sb := Speedup(base, MustRun(b, PrefCompr, ob))
+			subs[i][j] = futures{
+				base:  s.Submit(b, Base, ob),
+				pf:    s.Submit(b, Prefetch, ob),
+				compr: s.Submit(b, Compression, ob),
+				both:  s.Submit(b, PrefCompr, ob),
+			}
+		}
+	}
+	rows := make([]BandwidthSweepRow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		row := BandwidthSweepRow{Benchmark: b, InteractionPct: map[int]float64{}}
+		for j, gb := range bandwidths {
+			base := subs[i][j].base.MustWait()
+			sp := Speedup(base, subs[i][j].pf.MustWait())
+			sc := Speedup(base, subs[i][j].compr.MustWait())
+			sb := Speedup(base, subs[i][j].both.MustWait())
 			row.InteractionPct[gb] = stats.InteractionPct(sp, sc, sb)
 		}
 		rows = append(rows, row)
@@ -339,20 +465,39 @@ type CoreSweepRow struct {
 // the mechanisms' improvements as the core count scales, all other
 // parameters fixed.
 func CoreSweep(bench string, coreCounts []int, o Options) []CoreSweepRow {
-	var rows []CoreSweepRow
-	for _, n := range coreCounts {
+	return sharedScheduler(o).CoreSweep(bench, coreCounts, o)
+}
+
+// CoreSweep is the scheduler-scoped form of the package function.
+func (s *Scheduler) CoreSweep(bench string, coreCounts []int, o Options) []CoreSweepRow {
+	mechs := []Mechanisms{Prefetch, AdaptivePf, Compression, PrefCompr, AdaptiveCompr}
+	type futures struct {
+		base *PointFuture
+		enh  [5]*PointFuture
+	}
+	subs := make([]futures, len(coreCounts))
+	for i, n := range coreCounts {
 		on := o
 		on.Cores = n
-		base := MustRun(bench, Base, on)
-		sp := func(m Mechanisms) float64 { return stats.SpeedupPct(Speedup(base, MustRun(bench, m, on))) }
+		subs[i].base = s.Submit(bench, Base, on)
+		for j, m := range mechs {
+			subs[i].enh[j] = s.Submit(bench, m, on)
+		}
+	}
+	rows := make([]CoreSweepRow, 0, len(coreCounts))
+	for i, n := range coreCounts {
+		base := subs[i].base.MustWait()
+		sp := func(j int) float64 {
+			return stats.SpeedupPct(Speedup(base, subs[i].enh[j].MustWait()))
+		}
 		rows = append(rows, CoreSweepRow{
 			Benchmark:   bench,
 			Cores:       n,
-			PrefPct:     sp(Prefetch),
-			AdaptivePct: sp(AdaptivePf),
-			ComprPct:    sp(Compression),
-			BothPct:     sp(PrefCompr),
-			AdBothPct:   sp(AdaptiveCompr),
+			PrefPct:     sp(0),
+			AdaptivePct: sp(1),
+			ComprPct:    sp(2),
+			BothPct:     sp(3),
+			AdBothPct:   sp(4),
 		})
 	}
 	return rows

@@ -1,0 +1,282 @@
+// Parallel experiment scheduler: a worker pool that fans out seed-level
+// simulation jobs plus a memoizing point cache, so every unique
+// (benchmark, mechanisms, canonical options) data point is simulated
+// exactly once per process no matter how many studies request it.
+//
+// Determinism contract: a point's seeds are fixed (1..Seeds), each seed
+// is an independent sim.Run on a private System, and the runs are
+// assembled in seed order before the point is published. The resulting
+// Point — including the stats.Summarize reduction — is therefore
+// bit-identical whatever the worker count, including Workers == 1.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cmpsim/internal/sim"
+	"cmpsim/internal/stats"
+	"cmpsim/internal/workload"
+)
+
+// pointKey identifies one unique data point in the scheduler cache.
+type pointKey struct {
+	bench string
+	mech  Mechanisms
+	opts  Options
+}
+
+// canonicalOpts normalizes scheduling-only and aliasing fields so that
+// equivalent requests share one cache entry: Workers does not affect
+// simulation results, "stride" names the engine "" already selects, and
+// DecompressionCycles is ignored by config unless DecompressionSet.
+func canonicalOpts(o Options) Options {
+	o.Workers = 0
+	if o.PrefetcherKind == "stride" {
+		o.PrefetcherKind = ""
+	}
+	if !o.DecompressionSet {
+		o.DecompressionCycles = 0
+	}
+	return o
+}
+
+// pointEntry is the cache slot for one data point: filled in by seed
+// jobs, published exactly once by closing done.
+type pointEntry struct {
+	bench string
+	mech  Mechanisms
+	opts  Options // canonical; builds the same sim.Configs as the original
+
+	mu      sync.Mutex
+	runs    []sim.Metrics
+	pending int
+	err     error
+
+	point Point
+	done  chan struct{}
+}
+
+// runSeed executes one seed's simulation and publishes the point when
+// it is the last seed to finish.
+func (e *pointEntry) runSeed(seed int) {
+	met, err := sim.Run(e.opts.config(e.bench, e.mech, int64(seed)+1))
+	e.mu.Lock()
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	e.runs[seed] = met
+	e.pending--
+	last := e.pending == 0
+	e.mu.Unlock()
+	if !last {
+		return
+	}
+	if e.err == nil {
+		p := Point{Benchmark: e.bench, Mechanisms: e.mech, Runs: e.runs}
+		runtimes := make([]float64, len(e.runs))
+		for i := range e.runs {
+			runtimes[i] = e.runs[i].Cycles
+		}
+		p.Runtime = stats.Summarize(runtimes)
+		e.point = p
+	}
+	close(e.done)
+}
+
+// PointFuture is a handle to a submitted (possibly cached) data point.
+type PointFuture struct{ e *pointEntry }
+
+// Wait blocks until every seed of the point has been simulated and
+// returns the assembled Point. Cached points return immediately.
+func (f *PointFuture) Wait() (Point, error) {
+	<-f.e.done
+	return f.e.point, f.e.err
+}
+
+// MustWait is Wait for drivers iterating known-good benchmark names.
+func (f *PointFuture) MustWait() Point {
+	p, err := f.Wait()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type seedJob struct {
+	entry *pointEntry
+	seed  int
+}
+
+// Scheduler owns a worker pool and a memoizing point cache. Drivers
+// submit every point of a study up front and then collect in paper
+// order, so output order stays deterministic while the pool runs ahead.
+// All methods are safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []seedJob
+	target  int // pool size; workers spawn lazily up to it
+	running int
+	closed  bool
+	cache   map[pointKey]*pointEntry
+
+	requests uint64
+	unique   uint64
+	seedRuns uint64
+}
+
+// NewScheduler returns a scheduler with its own empty cache running at
+// most workers simulations concurrently; workers < 1 means one per CPU.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{target: workers, cache: make(map[pointKey]*pointEntry)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Workers reports the current pool size.
+func (s *Scheduler) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// grow raises the pool size to at least n workers. The pool never
+// shrinks: for guaranteed-serial execution use NewScheduler(1).
+func (s *Scheduler) grow(n int) {
+	s.mu.Lock()
+	if n > s.target {
+		s.target = n
+		s.spawnLocked()
+	}
+	s.mu.Unlock()
+}
+
+// spawnLocked starts workers up to the target pool size. Callers hold mu.
+func (s *Scheduler) spawnLocked() {
+	if len(s.queue) == 0 {
+		return
+	}
+	for s.running < s.target {
+		s.running++
+		go s.worker()
+	}
+}
+
+func (s *Scheduler) worker() {
+	s.mu.Lock()
+	for {
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 { // closed and drained
+			s.running--
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		j.entry.runSeed(j.seed)
+		s.mu.Lock()
+	}
+}
+
+// Submit requests one data point. It never blocks on simulation work:
+// the point's seed jobs are queued (or the cached entry is found) and a
+// future is returned for collection via Wait. Invalid requests resolve
+// immediately with the same errors Run reports.
+func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
+	key := pointKey{bench: bench, mech: m, opts: canonicalOpts(o)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if e, ok := s.cache[key]; ok {
+		return &PointFuture{e}
+	}
+	e := &pointEntry{bench: bench, mech: m, opts: key.opts, done: make(chan struct{})}
+	s.cache[key] = e
+	_, werr := workload.ByName(bench)
+	switch {
+	case o.Seeds < 1:
+		e.err = fmt.Errorf("core: Seeds must be at least 1")
+		close(e.done)
+	case werr != nil:
+		e.err = werr
+		close(e.done)
+	default:
+		if s.closed {
+			panic("core: Submit on closed Scheduler")
+		}
+		if s.target < 1 {
+			s.target = runtime.GOMAXPROCS(0)
+		}
+		s.unique++
+		s.seedRuns += uint64(o.Seeds)
+		e.runs = make([]sim.Metrics, o.Seeds)
+		e.pending = o.Seeds
+		for i := 0; i < o.Seeds; i++ {
+			s.queue = append(s.queue, seedJob{e, i})
+		}
+		s.spawnLocked()
+		s.cond.Broadcast()
+	}
+	return &PointFuture{e}
+}
+
+// Close lets the workers exit once the queue drains. Futures already
+// submitted still complete; submitting new work afterwards panics. It
+// exists so tests with private schedulers do not leak parked goroutines.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SchedulerStats counts cache effectiveness: how much simulation the
+// memoized point cache avoided.
+type SchedulerStats struct {
+	Requests uint64 // Submit calls
+	Unique   uint64 // distinct points actually simulated
+	SeedRuns uint64 // individual seed-level sim.Run jobs executed
+}
+
+// Cached returns how many requests were served from the cache.
+func (st SchedulerStats) Cached() uint64 { return st.Requests - st.Unique }
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedulerStats{Requests: s.requests, Unique: s.unique, SeedRuns: s.seedRuns}
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultSched *Scheduler
+)
+
+// DefaultScheduler returns the process-wide scheduler backing Run,
+// MustRun and the package-level study drivers. Its pool starts at the
+// first caller's worker count and grows if a later Options asks for
+// more; it never shrinks, so use NewScheduler(1) when serial execution
+// itself (not just serial-identical results) is required.
+func DefaultScheduler() *Scheduler {
+	defaultOnce.Do(func() {
+		defaultSched = &Scheduler{cache: make(map[pointKey]*pointEntry)}
+		defaultSched.cond = sync.NewCond(&defaultSched.mu)
+	})
+	return defaultSched
+}
+
+// sharedScheduler returns the default scheduler grown to o's workers.
+func sharedScheduler(o Options) *Scheduler {
+	s := DefaultScheduler()
+	s.grow(o.workerCount())
+	return s
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSchedulerDeterminism is the scheduler's regression contract: the
+// same study run serially (Workers: 1) and in parallel must produce
+// bit-identical Points, proving the fan-out introduces no hidden shared
+// state. Fresh schedulers keep the comparison honest — with a shared
+// cache the second run would trivially return the first run's points.
+func TestSchedulerDeterminism(t *testing.T) {
+	o := tinyOptions()
+	benches := []string{"zeus", "mgrid"}
+
+	serial := NewScheduler(1)
+	defer serial.Close()
+	parallel := NewScheduler(4)
+	defer parallel.Close()
+
+	for _, b := range benches {
+		for _, m := range []Mechanisms{Base, Compression, AdaptiveCompr} {
+			ps := serial.Submit(b, m, o).MustWait()
+			pp := parallel.Submit(b, m, o).MustWait()
+			if !reflect.DeepEqual(ps, pp) {
+				t.Fatalf("%s/%s: serial and parallel points differ\nserial:   %+v\nparallel: %+v",
+					b, m.Label(), ps, pp)
+			}
+		}
+	}
+
+	rs := serial.PrefetchStudy(benches, o)
+	rp := parallel.PrefetchStudy(benches, o)
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatalf("PrefetchStudy rows differ\nserial:   %+v\nparallel: %+v", rs, rp)
+	}
+}
+
+func TestSchedulerCacheDedup(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(2)
+	defer s.Close()
+
+	p1 := s.Submit("zeus", Base, o).MustWait()
+	p2 := s.Submit("zeus", Base, o).MustWait()
+	if &p1.Runs[0] != &p2.Runs[0] {
+		t.Fatal("second request did not hit the cache")
+	}
+	st := s.Stats()
+	if st.Requests != 2 || st.Unique != 1 || st.Cached() != 1 || st.SeedRuns != uint64(o.Seeds) {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Scheduling-only and aliasing option differences share the entry.
+	o2 := o
+	o2.Workers = 7
+	o2.PrefetcherKind = "stride"
+	o2.DecompressionCycles = 99 // ignored: DecompressionSet is false
+	s.Submit("zeus", Base, o2).MustWait()
+	if got := s.Stats().Unique; got != 1 {
+		t.Fatalf("canonicalization missed: unique = %d", got)
+	}
+
+	// Semantic differences do not collide.
+	o3 := o
+	o3.BandwidthGBps = 0
+	s.Submit("zeus", Base, o3).MustWait()
+	if got := s.Stats().Unique; got != 2 {
+		t.Fatalf("distinct options shared an entry: unique = %d", got)
+	}
+}
+
+func TestSchedulerErrorPoints(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(1)
+	defer s.Close()
+
+	if _, err := s.Submit("nosuch", Base, o).Wait(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	bad := o
+	bad.Seeds = 0
+	if _, err := s.Submit("zeus", Base, bad).Wait(); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+	if got := s.Stats().SeedRuns; got != 0 {
+		t.Fatalf("invalid submissions ran %d simulations", got)
+	}
+}
+
+// TestStudiesShareBasePoints checks the cross-study memoization the
+// scheduler exists for: AdaptiveStudy reuses the base/prefetch/adaptive
+// points PrefetchStudy already simulated.
+func TestStudiesShareBasePoints(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(0)
+	defer s.Close()
+	benches := []string{"zeus"}
+
+	s.PrefetchStudy(benches, o) // base, prefetch, adaptive-pf
+	u := s.Stats().Unique
+	if u != 3 {
+		t.Fatalf("PrefetchStudy simulated %d points, want 3", u)
+	}
+	s.AdaptiveStudy(benches, o) // adds only pf+compr and adaptive+compr
+	if got := s.Stats().Unique - u; got != 2 {
+		t.Fatalf("AdaptiveStudy simulated %d new points, want 2", got)
+	}
+}

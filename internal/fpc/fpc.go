@@ -188,20 +188,30 @@ func Compressible(line []byte) bool {
 	return CompressedSizeSegments(line) < MaxSegments
 }
 
-// bitWriter accumulates a big-endian-within-byte bitstream.
+// bitWriter accumulates a big-endian-within-byte bitstream by appending
+// to buf, so callers can hand it a reused buffer and write without
+// allocating.
 type bitWriter struct {
 	buf  []byte
-	nbit uint // bits already written
+	nbit uint // bits written by this writer (it starts on a byte boundary)
 }
 
+// write appends the low n bits of v, most significant first, in
+// byte-sized chunks rather than bit by bit.
 func (bw *bitWriter) write(v uint32, n int) {
-	for i := n - 1; i >= 0; i-- {
+	for n > 0 {
 		if bw.nbit%8 == 0 {
 			bw.buf = append(bw.buf, 0)
 		}
-		bit := (v >> uint(i)) & 1
-		bw.buf[len(bw.buf)-1] |= byte(bit << (7 - bw.nbit%8))
-		bw.nbit++
+		free := 8 - int(bw.nbit%8)
+		take := n
+		if take > free {
+			take = free
+		}
+		chunk := (v >> uint(n-take)) & (1<<uint(take) - 1)
+		bw.buf[len(bw.buf)-1] |= byte(chunk << uint(free-take))
+		bw.nbit += uint(take)
+		n -= take
 	}
 }
 
@@ -231,18 +241,27 @@ func (br *bitReader) read(n int) (uint32, error) {
 // slice is padded to a whole number of segments; Decode inverts it.
 // The second result is the occupied size in segments, identical to
 // CompressedSizeSegments. If the line is incompressible the raw line is
-// returned (copied) with MaxSegments.
+// returned (copied) with MaxSegments. Encode allocates its result; hot
+// paths that can reuse a buffer should call AppendEncode.
 func Encode(line []byte) ([]byte, int) {
+	return AppendEncode(make([]byte, 0, LineSize), line)
+}
+
+// AppendEncode appends the FPC encoding of the 64-byte line to dst and
+// returns the extended slice plus the occupied size in segments. The
+// appended payload is padded to whole segments; an incompressible line
+// is appended raw. dst may be nil; with a reused buffer of sufficient
+// capacity the call does not allocate.
+func AppendEncode(dst, line []byte) ([]byte, int) {
 	if len(line) != LineSize {
 		panic("fpc: line must be 64 bytes")
 	}
 	segs := CompressedSizeSegments(line)
 	if segs == MaxSegments {
-		out := make([]byte, LineSize)
-		copy(out, line)
-		return out, MaxSegments
+		return append(dst, line...), MaxSegments
 	}
-	bw := bitWriter{buf: make([]byte, 0, segs*SegmentSize)}
+	base := len(dst)
+	bw := bitWriter{buf: dst}
 	i := 0
 	for i < wordsPerLine {
 		w := binary.LittleEndian.Uint32(line[i*4:])
@@ -264,9 +283,11 @@ func Encode(line []byte) ([]byte, int) {
 		bw.write(encodeData(p, w), p.dataBits())
 		i++
 	}
-	out := make([]byte, segs*SegmentSize)
-	copy(out, bw.buf)
-	return out, segs
+	dst = bw.buf
+	for len(dst)-base < segs*SegmentSize {
+		dst = append(dst, 0)
+	}
+	return dst, segs
 }
 
 // encodeData extracts the data bits for pattern p from word w.
@@ -323,45 +344,63 @@ func signExtend(v uint32, n int) uint32 {
 }
 
 // Decode decompresses an FPC bitstream produced by Encode back into a
-// 64-byte line. segs must be the segment count Encode returned; a value
-// of MaxSegments means the payload is the raw uncompressed line.
+// freshly allocated 64-byte line. segs must be the segment count Encode
+// returned; a value of MaxSegments means the payload is the raw
+// uncompressed line. Hot paths should call DecodeInto with a reused
+// buffer instead.
 func Decode(enc []byte, segs int) ([]byte, error) {
+	out := make([]byte, LineSize)
+	if err := DecodeInto(out, enc, segs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto is the allocation-free variant of Decode: it decompresses
+// the bitstream into dst, which must hold at least LineSize bytes and is
+// cleared first (zero runs rely on it).
+func DecodeInto(dst, enc []byte, segs int) error {
+	if len(dst) < LineSize {
+		return fmt.Errorf("fpc: destination holds %d bytes, need %d", len(dst), LineSize)
+	}
+	dst = dst[:LineSize]
 	if segs == MaxSegments {
 		if len(enc) < LineSize {
-			return nil, errShortStream
+			return errShortStream
 		}
-		out := make([]byte, LineSize)
-		copy(out, enc)
-		return out, nil
+		copy(dst, enc)
+		return nil
 	}
 	if segs < 1 || segs > MaxSegments {
-		return nil, fmt.Errorf("fpc: invalid segment count %d", segs)
+		return fmt.Errorf("fpc: invalid segment count %d", segs)
+	}
+	for i := range dst {
+		dst[i] = 0
 	}
 	br := bitReader{buf: enc}
-	out := make([]byte, LineSize)
 	i := 0
 	for i < wordsPerLine {
 		pv, err := br.read(prefixBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := Pattern(pv)
 		d, err := br.read(p.dataBits())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if p == PatZeroRun {
 			run := int(d) + 1
 			if i+run > wordsPerLine {
-				return nil, fmt.Errorf("fpc: zero run of %d overflows line at word %d", run, i)
+				return fmt.Errorf("fpc: zero run of %d overflows line at word %d", run, i)
 			}
 			i += run // words already zero
 			continue
 		}
-		binary.LittleEndian.PutUint32(out[i*4:], decodeData(p, d))
+		binary.LittleEndian.PutUint32(dst[i*4:], decodeData(p, d))
 		i++
 	}
-	return out, nil
+	return nil
 }
 
 // Ratio returns the compression ratio (original size / compressed size)

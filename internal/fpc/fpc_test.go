@@ -253,6 +253,85 @@ func TestEncodePanicsOnBadLength(t *testing.T) {
 	Encode(make([]byte, 32))
 }
 
+func TestAppendVariantsMatchEncodeDecode(t *testing.T) {
+	// Property: AppendEncode/DecodeInto agree with Encode/Decode and
+	// preserve any prefix already in dst.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := make([]byte, LineSize)
+		for i := 0; i < wordsPerLine; i++ {
+			var w uint32
+			switch rng.Intn(3) {
+			case 0:
+				w = 0
+			case 1:
+				w = uint32(rng.Intn(256))
+			default:
+				w = rng.Uint32()
+			}
+			binary.LittleEndian.PutUint32(line[i*4:], w)
+		}
+		enc, segs := Encode(line)
+		prefix := []byte{0xA5, 0x5A}
+		apEnc, apSegs := AppendEncode(append([]byte(nil), prefix...), line)
+		if apSegs != segs || !bytes.Equal(apEnc[:2], prefix) || !bytes.Equal(apEnc[2:], enc) {
+			return false
+		}
+		var out [LineSize]byte
+		if err := DecodeInto(out[:], enc, segs); err != nil {
+			return false
+		}
+		return bytes.Equal(out[:], line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeIntoErrors(t *testing.T) {
+	if err := DecodeInto(make([]byte, 8), []byte{0}, 1); err == nil {
+		t.Error("short destination should fail")
+	}
+	out := make([]byte, LineSize)
+	if err := DecodeInto(out, []byte{0xFF}, 1); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	if err := DecodeInto(out, nil, MaxSegments); err == nil {
+		t.Error("short uncompressed payload should fail")
+	}
+	// A failed decode must not have been reported as success on stale data.
+	line := lineOfWords(1, 2, 3)
+	enc, segs := Encode(line)
+	if err := DecodeInto(out, enc, segs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, line) {
+		t.Fatal("DecodeInto after failures returned wrong contents")
+	}
+}
+
+func TestAppendEncodeDecodeIntoNoAllocs(t *testing.T) {
+	lines := [][]byte{
+		make([]byte, LineSize),
+		lineOfWords(1, 2, 3, 7),
+		lineOfWords(0, 1, 0x12340000, 0xABABABAB),
+	}
+	buf := make([]byte, 0, LineSize)
+	var out [LineSize]byte
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, line := range lines {
+			var segs int
+			buf, segs = AppendEncode(buf[:0], line)
+			if err := DecodeInto(out[:], buf, segs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode/DecodeInto with a reused buffer allocated %.1f times per op", allocs)
+	}
+}
+
 func BenchmarkCompressedSizeSegments(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	lines := make([][]byte, 64)
@@ -278,6 +357,39 @@ func BenchmarkEncodeDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		enc, segs := Encode(line)
 		if _, err := Decode(enc, segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPCCompress guards the allocation-free compress/decompress
+// hot path: a reused buffer round-tripped over a mixed line population
+// must report 0 allocs/op.
+func BenchmarkFPCCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lines := make([][]byte, 64)
+	for i := range lines {
+		lines[i] = make([]byte, LineSize)
+		for w := 0; w < wordsPerLine; w++ {
+			switch rng.Intn(4) {
+			case 0: // leave zero
+			case 1:
+				binary.LittleEndian.PutUint32(lines[i][w*4:], uint32(rng.Intn(128)))
+			case 2:
+				binary.LittleEndian.PutUint32(lines[i][w*4:], rng.Uint32()<<16)
+			default:
+				binary.LittleEndian.PutUint32(lines[i][w*4:], rng.Uint32())
+			}
+		}
+	}
+	buf := make([]byte, 0, LineSize)
+	var out [LineSize]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var segs int
+		buf, segs = AppendEncode(buf[:0], lines[i%len(lines)])
+		if err := DecodeInto(out[:], buf, segs); err != nil {
 			b.Fatal(err)
 		}
 	}

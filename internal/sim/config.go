@@ -11,6 +11,12 @@
 // demand, compression ratios, per-prefetcher rate/coverage/accuracy,
 // adaptive-event counts and (optionally) per-block miss profiles for
 // the Figure 8 classification.
+//
+// Run is safe for concurrent use from multiple goroutines: every call
+// assembles a private System (its own caches, RNGs, generators and
+// counters) and shares no mutable package state, which is what lets
+// internal/core's scheduler fan seed-level runs across a worker pool
+// with bit-identical results to a serial sweep.
 package sim
 
 import (

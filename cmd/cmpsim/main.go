@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/report"
 	"cmpsim/internal/sim"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		pfKind   = flag.String("pf-kind", "stride", "prefetcher: stride (paper) or sequential (baseline)")
 		l1depth  = flag.Int("l1depth", 0, "override L1 startup prefetch depth (0 = paper default 6)")
 		l2depth  = flag.Int("l2depth", 0, "override L2 startup prefetch depth (0 = paper default 25)")
+		timeline = flag.String("timeline", "", "export the interval timeline to PREFIX.jsonl and PREFIX.csv")
+		interval = flag.Uint64("interval", 0, "telemetry interval in aggregate instructions (0 = auto: 1/50 of the window when -timeline is set)")
 		verbose  = flag.Bool("v", false, "print the full metric breakdown")
 	)
 	flag.Parse()
@@ -59,12 +63,48 @@ func main() {
 		cfg.PrefetcherKind = *pfKind
 	}
 	cfg.Memory.LinkBytesPerCycle = *bwGBps / cfg.ClockGHz
+	cfg.TelemetryInterval = *interval
+	if *timeline != "" && cfg.TelemetryInterval == 0 {
+		cfg.TelemetryInterval = cfg.MeasureInstr * uint64(cfg.Cores) / 50
+		if cfg.TelemetryInterval == 0 {
+			cfg.TelemetryInterval = 1
+		}
+	}
 
 	m, err := sim.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printMetrics(os.Stdout, m, *verbose)
+	if *timeline != "" {
+		if err := exportTimeline(*timeline, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// exportTimeline writes the run's timeline as prefix.jsonl + prefix.csv.
+func exportTimeline(prefix string, m sim.Metrics) error {
+	meta := report.TimelineMeta{Benchmark: m.Benchmark, Label: m.Label, Seed: m.Seed}
+	for ext, write := range map[string]func(io.Writer) error{
+		".jsonl": func(w io.Writer) error { return report.TimelineJSONL(w, meta, m.Timeline) },
+		".csv":   func(w io.Writer) error { return report.TimelineCSV(w, meta, m.Timeline) },
+	} {
+		f, err := os.Create(prefix + ext)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cmpsim: wrote %d timeline samples to %s.jsonl and %s.csv\n",
+		len(m.Timeline), prefix, prefix)
+	return nil
 }
 
 func printMetrics(w *os.File, m sim.Metrics, verbose bool) {
@@ -85,8 +125,10 @@ func printMetrics(w *os.File, m sim.Metrics, verbose bool) {
 			m.L1DAccesses, m.L1DMisses, pct(m.L1DMisses, m.L1DAccesses))
 		fmt.Fprintf(w, "mem            %d fetches, %d writebacks, %d bytes\n",
 			m.MemFetches, m.MemWritebacks, m.OffChipBytes)
-		fmt.Fprintf(w, "queueing       link %.0f cycles, DRAM %.0f cycles (cumulative)\n",
+		fmt.Fprintf(w, "queueing       link %.0f cycles, DRAM %.0f cycles (measurement window)\n",
 			m.LinkQueueDelay, m.DRAMQueueDelay)
+		fmt.Fprintf(w, "L2 evictions   %d total, %d useless-prefetch\n",
+			m.L2Evictions, m.L2UselessPfEvictions)
 		fmt.Fprintf(w, "coherence      %d upgrades, %d dirty forwards, %d invalidations\n",
 			m.StoreUpgrades, m.DirtyForwards, m.Invalidations)
 		fmt.Fprintf(w, "mean L2 hit    %.2f cycles\n", m.MeanL2HitLatency)

@@ -14,8 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -36,6 +39,9 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		format     = flag.String("format", "text", "output format: text, json or csv (csv where supported)")
+		timeline   = flag.String("timeline", "", "directory for per-point interval-timeline exports (JSONL + CSV)")
+		interval   = flag.Uint64("interval", 0, "telemetry interval in aggregate instructions (0 = auto: 1/50 of the window when -timeline is set)")
+		progress   = flag.Bool("progress", false, "log per-point scheduler progress (start/finish/cached) to stderr")
 	)
 	flag.Parse()
 	outFormat = *format
@@ -48,6 +54,13 @@ func main() {
 		o.Seeds = *seeds
 	}
 	o.Workers = *workers
+	o.TelemetryInterval = *interval
+	if *timeline != "" && o.TelemetryInterval == 0 {
+		o.TelemetryInterval = o.Measure * uint64(o.Cores) / 50
+		if o.TelemetryInterval == 0 {
+			o.TelemetryInterval = 1
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -87,6 +100,9 @@ func main() {
 	// memoizes every unique data point, so studies sharing points (e.g.
 	// table3/fig3/fig5, or any study's Base runs) simulate them once.
 	sched := core.DefaultScheduler()
+	if obs := buildObserver(*progress, *timeline); obs != nil {
+		sched.SetObserver(obs)
+	}
 	suiteStart := time.Now()
 	for _, name := range selected {
 		fn, ok := all[strings.TrimSpace(name)]
@@ -111,6 +127,80 @@ func main() {
 
 // outFormat selects text (paper-style tables), json, or csv output.
 var outFormat = "text"
+
+// buildObserver assembles the scheduler progress observer: stderr
+// progress lines (-progress) and/or per-point timeline exports
+// (-timeline DIR). Returns nil when neither is requested.
+func buildObserver(progress bool, timelineDir string) core.Observer {
+	if !progress && timelineDir == "" {
+		return nil
+	}
+	if timelineDir != "" {
+		if err := os.MkdirAll(timelineDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func(ev core.PointEvent) {
+		if progress {
+			switch ev.Kind {
+			case core.PointStart:
+				fmt.Fprintf(os.Stderr, "[point %s/%s started (%d seeds)]\n",
+					ev.Benchmark, ev.Mechanisms.Label(), ev.Seeds)
+			case core.PointFinish:
+				if ev.Err != nil {
+					fmt.Fprintf(os.Stderr, "[point %s/%s failed: %v]\n",
+						ev.Benchmark, ev.Mechanisms.Label(), ev.Err)
+				} else {
+					fmt.Fprintf(os.Stderr, "[point %s/%s done in %s]\n",
+						ev.Benchmark, ev.Mechanisms.Label(), ev.Wall.Round(time.Millisecond))
+				}
+			case core.PointCached:
+				fmt.Fprintf(os.Stderr, "[point %s/%s cached]\n",
+					ev.Benchmark, ev.Mechanisms.Label())
+			}
+		}
+		if timelineDir != "" && ev.Kind == core.PointFinish && ev.Point != nil {
+			if err := exportPointTimelines(timelineDir, ev); err != nil {
+				log.Printf("timeline export: %v", err)
+			}
+		}
+	}
+}
+
+// exportPointTimelines writes one JSONL + CSV pair per seed run of a
+// finished point. Filenames carry a hash of the point's canonical
+// options so points that share benchmark and mechanisms (e.g. the
+// finite- and infinite-bandwidth variants) do not collide.
+func exportPointTimelines(dir string, ev core.PointEvent) error {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%+v", ev.Options)
+	for i := range ev.Point.Runs {
+		m := &ev.Point.Runs[i]
+		if len(m.Timeline) == 0 {
+			continue
+		}
+		meta := report.TimelineMeta{Benchmark: m.Benchmark, Label: m.Label, Seed: m.Seed}
+		base := filepath.Join(dir, fmt.Sprintf("%s__%s__%08x__s%d",
+			m.Benchmark, m.Label, h.Sum32(), m.Seed))
+		for ext, write := range map[string]func(io.Writer) error{
+			".jsonl": func(w io.Writer) error { return report.TimelineJSONL(w, meta, m.Timeline) },
+			".csv":   func(w io.Writer) error { return report.TimelineCSV(w, meta, m.Timeline) },
+		} {
+			f, err := os.Create(base + ext)
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
 
 // emit renders rows in the selected format, falling back to the
 // text renderer when no structured encoding applies.

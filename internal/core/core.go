@@ -71,9 +71,9 @@ func (m Mechanisms) Label() string {
 
 // Options controls run size and system scale.
 type Options struct {
-	Cores         int
-	Seeds         int     // independent runs per data point
-	Workers       int     // concurrent seed simulations; <= 0 = one per CPU
+	Cores   int
+	Seeds   int // independent runs per data point
+	Workers int // concurrent seed simulations; <= 0 = one per CPU
 
 	Warmup        uint64  // instructions per core
 	Measure       uint64  // instructions per core
@@ -82,6 +82,11 @@ type Options struct {
 
 	// CollectMissProfile enables per-block miss accounting (Figure 8).
 	CollectMissProfile bool
+
+	// TelemetryInterval samples interval telemetry every N aggregate
+	// instructions of each run's measurement window (0 = disabled); the
+	// samples land in each run's sim.Metrics.Timeline.
+	TelemetryInterval uint64
 
 	// Hardware overrides for sensitivity/ablation studies. Zero values
 	// keep the paper's Table 1 parameters; UncompressedVictimTags uses
@@ -139,6 +144,7 @@ func (o Options) config(bench string, m Mechanisms, seed int64) sim.Config {
 	cfg.PrefetcherKind = o.PrefetcherKind
 	cfg.Memory.LinkBytesPerCycle = o.BandwidthGBps / cfg.ClockGHz
 	cfg.CollectMissProfile = o.CollectMissProfile
+	cfg.TelemetryInterval = o.TelemetryInterval
 	return cfg
 }
 

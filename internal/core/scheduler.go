@@ -14,11 +14,55 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
+
+// PointEventKind classifies scheduler progress events.
+type PointEventKind int
+
+const (
+	// PointStart: a new unique point was submitted and its seed jobs queued.
+	PointStart PointEventKind = iota
+	// PointFinish: the point's last seed completed (or it failed validation).
+	PointFinish
+	// PointCached: a Submit was served from the memoized point cache.
+	PointCached
+)
+
+// String names the event kind for progress displays.
+func (k PointEventKind) String() string {
+	switch k {
+	case PointStart:
+		return "start"
+	case PointFinish:
+		return "finish"
+	case PointCached:
+		return "cached"
+	default:
+		return fmt.Sprintf("PointEventKind(%d)", int(k))
+	}
+}
+
+// PointEvent is one scheduler progress notification.
+type PointEvent struct {
+	Kind       PointEventKind
+	Benchmark  string
+	Mechanisms Mechanisms
+	Options    Options // canonical form (the cache key's option set)
+	Seeds      int
+	Wall       time.Duration // submit→finish wall-clock (PointFinish only)
+	Point      *Point        // the finished point (PointFinish without error only)
+	Err        error         // PointFinish only
+}
+
+// Observer receives progress events. Finish events fire from worker
+// goroutines, so an observer must be safe for concurrent use; it should
+// also return quickly, since it runs on the simulation workers.
+type Observer func(PointEvent)
 
 // pointKey identifies one unique data point in the scheduler cache.
 type pointKey struct {
@@ -48,6 +92,9 @@ type pointEntry struct {
 	bench string
 	mech  Mechanisms
 	opts  Options // canonical; builds the same sim.Configs as the original
+
+	started time.Time
+	notify  Observer // observer at submit time (nil = no events)
 
 	mu      sync.Mutex
 	runs    []sim.Metrics
@@ -83,6 +130,16 @@ func (e *pointEntry) runSeed(seed int) {
 		e.point = p
 	}
 	close(e.done)
+	if e.notify != nil {
+		ev := PointEvent{
+			Kind: PointFinish, Benchmark: e.bench, Mechanisms: e.mech, Options: e.opts,
+			Seeds: len(e.runs), Wall: time.Since(e.started), Err: e.err,
+		}
+		if e.err == nil {
+			ev.Point = &e.point
+		}
+		e.notify(ev)
+	}
 }
 
 // PointFuture is a handle to a submitted (possibly cached) data point.
@@ -114,17 +171,27 @@ type seedJob struct {
 // order, so output order stays deterministic while the pool runs ahead.
 // All methods are safe for concurrent use.
 type Scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []seedJob
-	target  int // pool size; workers spawn lazily up to it
-	running int
-	closed  bool
-	cache   map[pointKey]*pointEntry
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []seedJob
+	target   int // pool size; workers spawn lazily up to it
+	running  int
+	closed   bool
+	cache    map[pointKey]*pointEntry
+	observer Observer
 
 	requests uint64
 	unique   uint64
 	seedRuns uint64
+}
+
+// SetObserver installs (or, with nil, removes) the progress observer.
+// Points submitted before the call keep the observer they were submitted
+// with; install the observer before the study drivers run.
+func (s *Scheduler) SetObserver(fn Observer) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
 }
 
 // NewScheduler returns a scheduler with its own empty cache running at
@@ -189,18 +256,29 @@ func (s *Scheduler) worker() {
 // Submit requests one data point. It never blocks on simulation work:
 // the point's seed jobs are queued (or the cached entry is found) and a
 // future is returned for collection via Wait. Invalid requests resolve
-// immediately with the same errors Run reports.
+// immediately with the same errors Run reports. Progress events fire
+// outside the scheduler lock: PointCached for cache hits, PointStart for
+// newly queued points, PointFinish when the last seed lands (invalid
+// submissions fire PointFinish with the error directly).
 func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 	key := pointKey{bench: bench, mech: m, opts: canonicalOpts(o)}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.requests++
 	if e, ok := s.cache[key]; ok {
+		obs := s.observer
+		s.mu.Unlock()
+		if obs != nil {
+			obs(PointEvent{Kind: PointCached, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
+		}
 		return &PointFuture{e}
 	}
-	e := &pointEntry{bench: bench, mech: m, opts: key.opts, done: make(chan struct{})}
+	e := &pointEntry{
+		bench: bench, mech: m, opts: key.opts,
+		started: time.Now(), notify: s.observer, done: make(chan struct{}),
+	}
 	s.cache[key] = e
 	_, werr := workload.ByName(bench)
+	queued := false
 	switch {
 	case o.Seeds < 1:
 		e.err = fmt.Errorf("core: Seeds must be at least 1")
@@ -210,6 +288,7 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 		close(e.done)
 	default:
 		if s.closed {
+			s.mu.Unlock()
 			panic("core: Submit on closed Scheduler")
 		}
 		if s.target < 1 {
@@ -224,6 +303,15 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 		}
 		s.spawnLocked()
 		s.cond.Broadcast()
+		queued = true
+	}
+	s.mu.Unlock()
+	if e.notify != nil {
+		if queued {
+			e.notify(PointEvent{Kind: PointStart, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
+		} else {
+			e.notify(PointEvent{Kind: PointFinish, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds, Err: e.err})
+		}
 	}
 	return &PointFuture{e}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -106,5 +107,95 @@ func TestStudiesShareBasePoints(t *testing.T) {
 	s.AdaptiveStudy(benches, o) // adds only pf+compr and adaptive+compr
 	if got := s.Stats().Unique - u; got != 2 {
 		t.Fatalf("AdaptiveStudy simulated %d new points, want 2", got)
+	}
+}
+
+// TestSchedulerObserver checks the progress-event contract: one
+// PointStart and one PointFinish per unique point, PointCached for
+// repeat submissions, an immediate PointFinish with the error for
+// invalid ones, and a non-nil Point with positive wall-clock on
+// successful finishes.
+func TestSchedulerObserver(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(2)
+	defer s.Close()
+
+	var mu sync.Mutex
+	var events []PointEvent
+	s.SetObserver(func(ev PointEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	s.Submit("zeus", Base, o).MustWait()
+	s.Submit("zeus", Base, o).MustWait() // cached
+	s.Submit("zeus", Prefetch, o).MustWait()
+	if _, err := s.Submit("nosuch", Base, o).Wait(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	counts := make(map[PointEventKind]int)
+	for _, ev := range events {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case PointFinish:
+			if ev.Err == nil {
+				if ev.Point == nil {
+					t.Errorf("%s/%s: finish event without point", ev.Benchmark, ev.Mechanisms.Label())
+				}
+				if ev.Wall <= 0 {
+					t.Errorf("%s/%s: finish event with wall %v", ev.Benchmark, ev.Mechanisms.Label(), ev.Wall)
+				}
+			} else if ev.Point != nil {
+				t.Errorf("%s: failed finish carries a point", ev.Benchmark)
+			}
+		case PointStart, PointCached:
+			if ev.Seeds != o.Seeds {
+				t.Errorf("%v event reports %d seeds, want %d", ev.Kind, ev.Seeds, o.Seeds)
+			}
+		}
+	}
+	// zeus/base + zeus/pf started and finished; nosuch finished with an
+	// error but never started; the repeat submission was served cached.
+	if counts[PointStart] != 2 || counts[PointFinish] != 3 || counts[PointCached] != 1 {
+		t.Fatalf("event counts start/finish/cached = %d/%d/%d, want 2/3/1",
+			counts[PointStart], counts[PointFinish], counts[PointCached])
+	}
+}
+
+// TestSchedulerTelemetryPlumbing: Options.TelemetryInterval must reach
+// the per-seed sim configs (every run carries a timeline) and its zero
+// value must leave timelines off. The two variants are distinct cache
+// entries — the interval changes the result payload.
+func TestSchedulerTelemetryPlumbing(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(2)
+	defer s.Close()
+
+	plain := s.Submit("zeus", Base, o).MustWait()
+	for i := range plain.Runs {
+		if plain.Runs[i].Timeline != nil {
+			t.Fatalf("seed %d has a timeline with telemetry disabled", i)
+		}
+	}
+
+	o.TelemetryInterval = 30_000
+	traced := s.Submit("zeus", Base, o).MustWait()
+	if s.Stats().Unique != 2 {
+		t.Fatalf("telemetry variant shared the plain cache entry: %+v", s.Stats())
+	}
+	for i := range traced.Runs {
+		if len(traced.Runs[i].Timeline) == 0 {
+			t.Fatalf("seed %d missing timeline samples", i)
+		}
+	}
+	// Identical non-timeline metrics: sampling must not perturb the run.
+	a, b := plain.Runs[0], traced.Runs[0]
+	b.Timeline = nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("telemetry perturbed the simulation:\n%+v\nvs\n%+v", a, b)
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"sort"
 	"strconv"
 
+	"cmpsim/internal/coherence"
 	"cmpsim/internal/core"
+	"cmpsim/internal/sim"
 )
 
 // WriteJSON renders any experiment's row slice as indented JSON, for
@@ -103,6 +105,72 @@ func BandwidthSweepCSV(w io.Writer, rows []core.BandwidthSweepRow) error {
 			}); err != nil {
 				return err
 			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimelineMeta identifies which run a timeline belongs to; it is
+// repeated on every exported record so files concatenate cleanly.
+type TimelineMeta struct {
+	Benchmark string `json:"benchmark"`
+	Label     string `json:"label"`
+	Seed      int64  `json:"seed"`
+}
+
+// timelineRecord is one JSONL line: the run identity plus one sample.
+type timelineRecord struct {
+	TimelineMeta
+	sim.IntervalSample
+}
+
+// TimelineJSONL writes one JSON object per interval sample, suitable
+// for streaming into jq or a dataframe loader.
+func TimelineJSONL(w io.Writer, meta TimelineMeta, tl []sim.IntervalSample) error {
+	enc := json.NewEncoder(w)
+	for i := range tl {
+		if err := enc.Encode(timelineRecord{meta, tl[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimelineCSVHeader is the column set TimelineCSV emits.
+var TimelineCSVHeader = []string{
+	"benchmark", "label", "seed", "index", "end_instr", "instructions",
+	"cycles", "ipc", "l2_accesses", "l2_misses", "l2_miss_rate",
+	"compression_ratio", "mean_l2_hit_latency", "offchip_bytes",
+	"link_utilization", "link_queue_delay", "dram_queue_delay",
+	"pf_l1i_rate_per_ki", "pf_l1i_accuracy",
+	"pf_l1d_rate_per_ki", "pf_l1d_accuracy",
+	"pf_l2_rate_per_ki", "pf_l2_accuracy",
+	"cap_l1i", "cap_l1d", "cap_l2",
+}
+
+// TimelineCSV writes the timeline in long CSV form, one row per sample.
+func TimelineCSV(w io.Writer, meta TimelineMeta, tl []sim.IntervalSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(TimelineCSVHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := range tl {
+		s := &tl[i]
+		row := []string{
+			meta.Benchmark, meta.Label, strconv.FormatInt(meta.Seed, 10),
+			strconv.Itoa(s.Index), u(s.EndInstr), u(s.Instructions),
+			f(s.Cycles), f(s.IPC), u(s.L2Accesses), u(s.L2Misses), f(s.L2MissRate),
+			f(s.CompressionRatio), f(s.MeanL2HitLatency), u(s.OffChipBytes),
+			f(s.LinkUtilization), f(s.LinkQueueDelay), f(s.DRAMQueueDelay),
+		}
+		for _, src := range []coherence.PfSource{coherence.PfL1I, coherence.PfL1D, coherence.PfL2} {
+			row = append(row, f(s.PfRate[src]), f(s.PfAccuracy[src]))
+		}
+		row = append(row, f(s.CapL1I), f(s.CapL1D), strconv.Itoa(s.CapL2))
+		if err := cw.Write(row); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

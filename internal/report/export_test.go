@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
 	"cmpsim/internal/core"
+	"cmpsim/internal/sim"
 )
 
 func TestWriteJSON(t *testing.T) {
@@ -88,5 +90,88 @@ func TestBandwidthSweepCSV(t *testing.T) {
 	// Long format, bandwidths ascending.
 	if len(recs) != 3 || recs[1][1] != "10" || recs[2][1] != "20" {
 		t.Fatalf("records: %v", recs)
+	}
+}
+
+func sampleTimeline() []sim.IntervalSample {
+	return []sim.IntervalSample{
+		{
+			Index: 0, EndInstr: 40_000, Instructions: 40_000, Cycles: 50_000,
+			IPC: 0.8, L2Accesses: 900, L2Misses: 90, L2MissRate: 0.1,
+			CompressionRatio: 1.55, OffChipBytes: 12_345,
+			LinkUtilization: 0.42, LinkQueueDelay: 1234.5, DRAMQueueDelay: 67.25,
+			PfIssued: [4]uint64{0, 5, 40, 12}, PfHits: [4]uint64{0, 2, 30, 6},
+			PfRate:     [4]float64{0, 0.125, 1, 0.3},
+			PfAccuracy: [4]float64{0, 0.4, 0.75, 0.5},
+			CapL1I:     6, CapL1D: 5.5, CapL2: 25,
+		},
+		{Index: 1, EndInstr: 80_000, Instructions: 40_000, Cycles: 48_000, IPC: 0.8333, CapL2: 16},
+	}
+}
+
+func TestTimelineJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	meta := TimelineMeta{Benchmark: "zeus", Label: "pf+compression", Seed: 3}
+	if err := TimelineJSONL(&buf, meta, sampleTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 JSONL lines, got %d", len(lines))
+	}
+	// Meta and sample fields must be flattened into one object per line.
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]any{
+		"benchmark": "zeus", "label": "pf+compression", "seed": 3.0,
+		"index": 0.0, "end_instr": 40_000.0, "ipc": 0.8,
+		"link_queue_delay": 1234.5, "cap_l2": 25.0,
+	} {
+		if rec[key] != want {
+			t.Errorf("line 0 %s = %v, want %v", key, rec[key], want)
+		}
+	}
+	if _, ok := rec["pf_issued"]; !ok {
+		t.Error("per-engine counters missing from JSONL record")
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	var buf bytes.Buffer
+	meta := TimelineMeta{Benchmark: "jbb", Label: "adaptive-pf", Seed: 1}
+	if err := TimelineCSV(&buf, meta, sampleTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d records", len(recs))
+	}
+	if !reflect.DeepEqual(recs[0], TimelineCSVHeader) {
+		t.Fatalf("header mismatch: %v", recs[0])
+	}
+	row := recs[1]
+	cell := func(name string) string {
+		for i, h := range TimelineCSVHeader {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	for name, want := range map[string]string{
+		"benchmark": "jbb", "label": "adaptive-pf", "seed": "1",
+		"end_instr": "40000", "l2_misses": "90", "compression_ratio": "1.5500",
+		"pf_l1d_rate_per_ki": "1.0000", "pf_l1d_accuracy": "0.7500",
+		"pf_l2_rate_per_ki": "0.3000", "cap_l2": "25",
+	} {
+		if got := cell(name); got != want {
+			t.Errorf("%s = %q, want %q", name, got, want)
+		}
 	}
 }

@@ -82,6 +82,11 @@ type Config struct {
 	// CollectMissProfile records per-block L2 demand miss counts
 	// (needed only for the Figure 8 classification; costs memory).
 	CollectMissProfile bool
+
+	// TelemetryInterval samples the full counter set every N aggregate
+	// (all-core) instructions of the measurement window into
+	// Metrics.Timeline. 0 disables sampling (Timeline stays nil).
+	TelemetryInterval uint64
 }
 
 // NewConfig returns the paper's baseline system (Table 1) for a
@@ -138,6 +143,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: MeasureInstr must be positive")
 	case c.L1Bytes <= 0 || c.L1Ways <= 0:
 		return fmt.Errorf("sim: invalid L1 geometry")
+	case c.L1HitCycles <= 0:
+		return fmt.Errorf("sim: L1 hit latency must be positive")
+	case c.UncompressedVictimTags < 0:
+		return fmt.Errorf("sim: UncompressedVictimTags must be non-negative")
 	case c.L2Bytes <= 0 || c.L2Ways <= 0 || c.L2TagsPerSet <= 0 || c.L2SegsPerSet < 8:
 		return fmt.Errorf("sim: invalid L2 geometry")
 	case c.L2Banks <= 0:
@@ -155,11 +164,18 @@ func (c Config) Validate() error {
 }
 
 // MechanismLabel names the active mechanism combination, matching the
-// paper's figure legends.
+// paper's figure legends. Every distinct combination gets a distinct
+// label: the adaptive cases mirror the plain-prefetching taxonomy
+// (adaptive-pf+compression keeps its historical name for the full
+// combination; the partial-compression variants name which side is on).
 func (c Config) MechanismLabel() string {
 	switch {
-	case c.AdaptivePrefetch && (c.CacheCompression || c.LinkCompression):
+	case c.AdaptivePrefetch && c.CacheCompression && c.LinkCompression:
 		return "adaptive-pf+compression"
+	case c.AdaptivePrefetch && c.CacheCompression:
+		return "adaptive-pf+cache-compr"
+	case c.AdaptivePrefetch && c.LinkCompression:
+		return "adaptive-pf+link-compr"
 	case c.AdaptivePrefetch:
 		return "adaptive-pf"
 	case c.Prefetching && c.CacheCompression && c.LinkCompression:

@@ -74,6 +74,8 @@ type Metrics struct {
 	L2MissRate             float64
 	L2MissesPerKI          float64
 	L2CompressedHits       uint64
+	L2Evictions            uint64  // lines evicted from the L2
+	L2UselessPfEvictions   uint64  // prefetched lines evicted unreferenced (Table 4 analysis)
 	MeanL2HitLatency       float64 // includes decompression penalties
 
 	// Compression.
@@ -84,8 +86,8 @@ type Metrics struct {
 	OffChipBytes    uint64
 	BandwidthGBps   float64 // paper's demand metric on infinite-BW runs
 	LinkUtilization float64
-	LinkQueueDelay  float64 // cumulative cycles messages waited for the pins
-	DRAMQueueDelay  float64 // cumulative cycles requests waited on busy banks
+	LinkQueueDelay  float64 // cycles messages waited for the pins (measurement window)
+	DRAMQueueDelay  float64 // cycles requests waited on busy banks (measurement window)
 	MemFetches      uint64
 	MemWritebacks   uint64
 
@@ -100,6 +102,10 @@ type Metrics struct {
 
 	// Per-block L2 demand-miss profile (nil unless requested).
 	MissProfile map[cache.BlockAddr]uint32
+
+	// Timeline holds one sample per TelemetryInterval aggregate
+	// instructions of the measurement window (nil when disabled).
+	Timeline []IntervalSample
 }
 
 // Engine returns the metrics for one prefetcher class.
@@ -110,7 +116,11 @@ func (m *Metrics) Engine(src coherence.PfSource) EngineMetrics { return m.Engine
 func (m *Metrics) Runtime() float64 { return m.Cycles }
 
 // totals is the flat counter snapshot used to compute measurement-window
-// deltas (snapshot at measurement start, subtract at end).
+// deltas (snapshot at measurement start, subtract at end). The windowing
+// contract: no Metrics field may read a cumulative simulator counter
+// directly — every reported quantity is a delta of two totals snapshots,
+// so warmup activity can never leak into reported numbers. The interval
+// telemetry reuses the same snapshots at a finer grain.
 type totals struct {
 	instr uint64
 
@@ -123,6 +133,13 @@ type totals struct {
 	memFetches, memWritebacks uint64
 	linkBytes                 uint64
 	linkBusy                  float64
+	linkQDelay                float64 // data-channel queueing (was read cumulatively pre-fix)
+	dramQDelay                float64 // DRAM bank queueing (was read cumulatively pre-fix)
+
+	effSizeSum float64 // effective-L2-size accumulator (bytes × samples)
+	effSizeN   uint64
+	hitLatSum  float64 // L2 hit latency accumulator (cycles × hits)
+	hitLatN    uint64
 
 	pfIssued, pfHits, pfPartial, pfRedundant, pfAllocs [4]uint64
 
@@ -148,6 +165,12 @@ func (t totals) sub(o totals) totals {
 	r.memWritebacks -= o.memWritebacks
 	r.linkBytes -= o.linkBytes
 	r.linkBusy -= o.linkBusy
+	r.linkQDelay -= o.linkQDelay
+	r.dramQDelay -= o.dramQDelay
+	r.effSizeSum -= o.effSizeSum
+	r.effSizeN -= o.effSizeN
+	r.hitLatSum -= o.hitLatSum
+	r.hitLatN -= o.hitLatN
 	for i := range r.pfIssued {
 		r.pfIssued[i] -= o.pfIssued[i]
 		r.pfHits[i] -= o.pfHits[i]

@@ -199,43 +199,67 @@ func TestMissProfileCollection(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	cases := []func(*Config){
-		func(c *Config) { c.Benchmark = "nosuch" },
-		func(c *Config) { c.Cores = 0 },
-		func(c *Config) { c.Cores = 99 },
-		func(c *Config) { c.MeasureInstr = 0 },
-		func(c *Config) { c.L1Bytes = 0 },
-		func(c *Config) { c.L2Bytes = 0 },
-		func(c *Config) { c.L2Banks = 0 },
-		func(c *Config) { c.L2HitCycles = 0 },
-		func(c *Config) { c.ClockGHz = 0 },
-		func(c *Config) { c.AdaptivePrefetch = true; c.Prefetching = false },
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"unknown benchmark", func(c *Config) { c.Benchmark = "nosuch" }},
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"too many cores", func(c *Config) { c.Cores = 99 }},
+		{"zero measure window", func(c *Config) { c.MeasureInstr = 0 }},
+		{"zero L1 size", func(c *Config) { c.L1Bytes = 0 }},
+		{"zero L1 hit latency", func(c *Config) { c.L1HitCycles = 0 }},
+		{"negative victim tags", func(c *Config) { c.UncompressedVictimTags = -1 }},
+		{"zero L2 size", func(c *Config) { c.L2Bytes = 0 }},
+		{"zero L2 banks", func(c *Config) { c.L2Banks = 0 }},
+		{"zero L2 hit latency", func(c *Config) { c.L2HitCycles = 0 }},
+		{"zero clock", func(c *Config) { c.ClockGHz = 0 }},
+		{"adaptive without prefetching", func(c *Config) { c.AdaptivePrefetch = true; c.Prefetching = false }},
 	}
-	for i, mut := range cases {
-		cfg := NewConfig("zeus")
-		mut(&cfg)
-		if _, err := Run(cfg); err == nil {
-			t.Errorf("case %d: invalid config accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := NewConfig("zeus")
+			tc.mut(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
 	}
 }
 
 func TestMechanismLabels(t *testing.T) {
 	cfg := NewConfig("zeus")
-	if cfg.MechanismLabel() != "base" {
-		t.Fatal("base label")
+	cases := []struct {
+		cacheC, linkC, pf, adaptive bool
+		want                        string
+	}{
+		{false, false, false, false, "base"},
+		{true, false, false, false, "cache-compr"},
+		{false, true, false, false, "link-compr"},
+		{true, true, false, false, "compression"},
+		{false, false, true, false, "pf"},
+		{true, false, true, false, "pf+cache-compr"},
+		{false, true, true, false, "pf+link-compr"},
+		{true, true, true, false, "pf+compression"},
+		{false, false, true, true, "adaptive-pf"},
+		// The three adaptive+compression combinations used to collapse
+		// into one label; each must now be distinct, with the full
+		// combination keeping its historical name.
+		{true, false, true, true, "adaptive-pf+cache-compr"},
+		{false, true, true, true, "adaptive-pf+link-compr"},
+		{true, true, true, true, "adaptive-pf+compression"},
 	}
-	if cfg.WithMechanisms(true, true, false, false).MechanismLabel() != "compression" {
-		t.Fatal("compression label")
-	}
-	if cfg.WithMechanisms(true, true, true, false).MechanismLabel() != "pf+compression" {
-		t.Fatal("pf+compression label")
-	}
-	if cfg.WithMechanisms(true, true, true, true).MechanismLabel() != "adaptive-pf+compression" {
-		t.Fatal("adaptive label")
-	}
-	if cfg.WithMechanisms(false, false, true, false).MechanismLabel() != "pf" {
-		t.Fatal("pf label")
+	seen := make(map[string]bool)
+	for _, tc := range cases {
+		got := cfg.WithMechanisms(tc.cacheC, tc.linkC, tc.pf, tc.adaptive).MechanismLabel()
+		if got != tc.want {
+			t.Errorf("WithMechanisms(%v,%v,%v,%v) = %q, want %q",
+				tc.cacheC, tc.linkC, tc.pf, tc.adaptive, got, tc.want)
+		}
+		if seen[got] {
+			t.Errorf("label %q not unique across combinations", got)
+		}
+		seen[got] = true
 	}
 }
 

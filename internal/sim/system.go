@@ -45,6 +45,8 @@ type System struct {
 	measuring   bool
 	missProfile map[cache.BlockAddr]uint32
 	ref         workload.Ref
+
+	tel *telemetry // nil unless Config.TelemetryInterval > 0
 }
 
 // NewSystem builds a system for cfg; the workload's BaseCPI overrides
@@ -148,12 +150,16 @@ func (s *System) run() Metrics {
 		startNow[i] = c.Now
 	}
 	s.measuring = true
+	if s.cfg.TelemetryInterval > 0 {
+		s.tel = newTelemetry(s.cfg.TelemetryInterval, start, s.maxCoreNow())
+	}
 	s.phase(s.cfg.MeasureInstr)
 	for _, c := range s.cores {
 		c.Drain()
 	}
 	s.measuring = false
-	d := s.rawTotals().sub(start)
+	end := s.rawTotals()
+	d := end.sub(start)
 
 	var maxElapsed, sumElapsed float64
 	for i, c := range s.cores {
@@ -175,17 +181,19 @@ func (s *System) run() Metrics {
 		L1IAccesses:  d.l1iAcc, L1IMisses: d.l1iMiss,
 		L1DAccesses: d.l1dAcc, L1DMisses: d.l1dMiss,
 		L2Accesses: d.l2Acc, L2Misses: d.l2Miss,
-		L2CompressedHits: d.l2ComprHits,
-		MemFetches:       d.memFetches,
-		MemWritebacks:    d.memWritebacks,
-		OffChipBytes:     d.linkBytes,
-		LinkQueueDelay:   s.mem.Data.QueueDelay,
-		DRAMQueueDelay:   s.mem.DRAMWaits,
-		StoreUpgrades:    d.storeUpgrades,
-		DirtyForwards:    d.dirtyForwards,
-		Invalidations:    d.invals,
-		Adaptive:         AdaptiveMetrics{Useful: d.adUseful, Useless: d.adUseless, Harmful: d.adHarmful, FinalCapL2: s.adL2.Cap()},
-		MissProfile:      s.missProfile,
+		L2CompressedHits:     d.l2ComprHits,
+		L2Evictions:          d.l2Evict,
+		L2UselessPfEvictions: d.l2Useless,
+		MemFetches:           d.memFetches,
+		MemWritebacks:        d.memWritebacks,
+		OffChipBytes:         d.linkBytes,
+		LinkQueueDelay:       d.linkQDelay,
+		DRAMQueueDelay:       d.dramQDelay,
+		StoreUpgrades:        d.storeUpgrades,
+		DirtyForwards:        d.dirtyForwards,
+		Invalidations:        d.invals,
+		Adaptive:             AdaptiveMetrics{Useful: d.adUseful, Useless: d.adUseless, Harmful: d.adHarmful, FinalCapL2: s.adL2.Cap()},
+		MissProfile:          s.missProfile,
 	}
 	if maxElapsed > 0 {
 		m.IPC = float64(d.instr) / maxElapsed
@@ -198,12 +206,12 @@ func (s *System) run() Metrics {
 	if d.instr > 0 {
 		m.L2MissesPerKI = float64(d.l2Miss) * 1000 / float64(d.instr)
 	}
-	if s.effSizeN > 0 {
-		m.EffectiveL2Bytes = s.effSizeSum / float64(s.effSizeN)
+	if d.effSizeN > 0 {
+		m.EffectiveL2Bytes = d.effSizeSum / float64(d.effSizeN)
 		m.CompressionRatio = m.EffectiveL2Bytes / float64(s.cfg.L2Bytes)
 	}
-	if s.hitLatN > 0 {
-		m.MeanL2HitLatency = s.hitLatSum / float64(s.hitLatN)
+	if d.hitLatN > 0 {
+		m.MeanL2HitLatency = d.hitLatSum / float64(d.hitLatN)
 	}
 	for src := 0; src < 4; src++ {
 		m.Engines[src] = EngineMetrics{
@@ -221,6 +229,9 @@ func (s *System) run() Metrics {
 	m.Engines[coherence.PfL1I].DemandMisses = d.l1iMiss
 	m.Engines[coherence.PfL1D].DemandMisses = d.l1dMiss
 	m.Engines[coherence.PfL2].DemandMisses = d.l2Miss
+	if s.tel != nil {
+		m.Timeline = s.finishTelemetry(end)
+	}
 	return m
 }
 
@@ -263,6 +274,9 @@ func (s *System) step(c int) {
 	core := s.cores[c]
 	g.Next(&s.ref)
 	core.Advance(uint64(s.ref.Gap))
+	if s.tel != nil {
+		s.tick(uint64(s.ref.Gap))
+	}
 	now := core.Now
 	kind := s.ref.Kind
 	addr := s.ref.Addr
@@ -563,6 +577,12 @@ func (s *System) rawTotals() totals {
 	t.memWritebacks = s.mem.Writebacks
 	t.linkBytes = s.mem.Data.TotalBytes // demand metric: data-bus bytes (addresses ride separate pins)
 	t.linkBusy = s.mem.DataBusyCycles()
+	t.linkQDelay = s.mem.Data.QueueDelay
+	t.dramQDelay = s.mem.DRAMWaits
+	t.effSizeSum = s.effSizeSum
+	t.effSizeN = s.effSizeN
+	t.hitLatSum = s.hitLatSum
+	t.hitLatN = s.hitLatN
 	t.pfIssued = s.pfIssued
 	t.pfHits = s.pfHits
 	t.pfPartial = s.pfPartial

@@ -1,0 +1,177 @@
+package sim
+
+// Interval telemetry: the windowed-snapshot machinery (totals/sub) that
+// already produces the end-of-run measurement-window Metrics, applied at
+// a finer grain. When Config.TelemetryInterval > 0, the measurement
+// phase records one IntervalSample per interval of aggregate (all-core)
+// instructions, each computed as the delta between consecutive totals
+// snapshots. Warmup is never sampled, and the per-interval counters sum
+// exactly to the end-of-run window totals because the final sample is
+// closed on the same snapshot the Metrics are computed from.
+//
+// With TelemetryInterval == 0 the simulator takes no snapshots and
+// Metrics.Timeline stays nil: the only cost is one nil check per step.
+
+// IntervalSample is one telemetry point: counters are deltas over the
+// interval, rates are derived from those deltas, and the adaptive cap
+// values are read at the sample instant. Engine-indexed arrays use
+// coherence.PfSource (1 = L1I, 2 = L1D, 3 = L2; index 0 unused).
+type IntervalSample struct {
+	Index    int    `json:"index"`
+	EndInstr uint64 `json:"end_instr"` // window instructions retired at the sample point
+
+	Instructions uint64  `json:"instructions"`
+	Cycles       float64 `json:"cycles"` // wall of the interval: max-core-time advance
+	IPC          float64 `json:"ipc"`
+
+	L2Accesses uint64  `json:"l2_accesses"`
+	L2Misses   uint64  `json:"l2_misses"`
+	L2MissRate float64 `json:"l2_miss_rate"`
+
+	CompressionRatio float64 `json:"compression_ratio"` // carried forward if no size sample landed in the interval
+	MeanL2HitLatency float64 `json:"mean_l2_hit_latency"`
+
+	OffChipBytes    uint64  `json:"offchip_bytes"`
+	LinkUtilization float64 `json:"link_utilization"`
+	LinkQueueDelay  float64 `json:"link_queue_delay"`
+	DRAMQueueDelay  float64 `json:"dram_queue_delay"`
+
+	PfIssued   [4]uint64  `json:"pf_issued"`
+	PfHits     [4]uint64  `json:"pf_hits"`
+	PfRate     [4]float64 `json:"pf_rate_per_ki"` // prefetches per 1000 interval instructions
+	PfAccuracy [4]float64 `json:"pf_accuracy"`
+
+	CapL1I float64 `json:"cap_l1i"` // adaptive startup-depth caps (L1 = mean over cores)
+	CapL1D float64 `json:"cap_l1d"`
+	CapL2  int     `json:"cap_l2"`
+}
+
+// telemetry is the per-run sampling state, allocated at measurement
+// start only when Config.TelemetryInterval > 0.
+type telemetry struct {
+	interval uint64 // aggregate instructions per sample
+	instr    uint64 // window instructions accumulated so far
+	next     uint64 // boundary that triggers the next sample
+
+	startInstr uint64 // totals.instr at measurement start
+	prev       totals
+	prevMaxNow float64
+
+	samples []IntervalSample
+}
+
+func newTelemetry(interval uint64, start totals, startMaxNow float64) *telemetry {
+	return &telemetry{
+		interval:   interval,
+		next:       interval,
+		startInstr: start.instr,
+		prev:       start,
+		prevMaxNow: startMaxNow,
+	}
+}
+
+// maxCoreNow returns the furthest-ahead core clock, the simulator's
+// notion of elapsed wall time (Metrics.Cycles uses the same basis).
+func (s *System) maxCoreNow() float64 {
+	max := s.cores[0].Now
+	for _, c := range s.cores[1:] {
+		if c.Now > max {
+			max = c.Now
+		}
+	}
+	return max
+}
+
+// tick advances the telemetry instruction count after one step and
+// records a sample whenever an interval boundary is crossed. Boundaries
+// advance by a fixed stride rather than resetting to the current count,
+// so variable-length instruction groups cannot drift the sample rate.
+func (s *System) tick(instrs uint64) {
+	t := s.tel
+	t.instr += instrs
+	if t.instr < t.next {
+		return
+	}
+	s.recordSample(s.rawTotals())
+	t.next += t.interval
+	if t.next <= t.instr { // a huge group may span several boundaries
+		t.next = t.instr + t.interval
+	}
+}
+
+// recordSample closes the current interval at snapshot now.
+func (s *System) recordSample(now totals) {
+	t := s.tel
+	d := now.sub(t.prev)
+	maxNow := s.maxCoreNow()
+	cycles := maxNow - t.prevMaxNow
+
+	smp := IntervalSample{
+		Index:          len(t.samples),
+		EndInstr:       now.instr - t.startInstr,
+		Instructions:   d.instr,
+		Cycles:         cycles,
+		L2Accesses:     d.l2Acc,
+		L2Misses:       d.l2Miss,
+		OffChipBytes:   d.linkBytes,
+		LinkQueueDelay: d.linkQDelay,
+		DRAMQueueDelay: d.dramQDelay,
+		PfIssued:       d.pfIssued,
+		PfHits:         d.pfHits,
+		CapL2:          s.adL2.Cap(),
+	}
+	if cycles > 0 {
+		smp.IPC = float64(d.instr) / cycles
+		smp.LinkUtilization = d.linkBusy / cycles
+	}
+	if d.l2Acc > 0 {
+		smp.L2MissRate = float64(d.l2Miss) / float64(d.l2Acc)
+	}
+	if d.effSizeN > 0 {
+		smp.CompressionRatio = d.effSizeSum / float64(d.effSizeN) / float64(s.cfg.L2Bytes)
+	} else if n := len(t.samples); n > 0 {
+		smp.CompressionRatio = t.samples[n-1].CompressionRatio
+	}
+	if d.hitLatN > 0 {
+		smp.MeanL2HitLatency = d.hitLatSum / float64(d.hitLatN)
+	}
+	if d.instr > 0 {
+		for i := range smp.PfRate {
+			smp.PfRate[i] = float64(d.pfIssued[i]) * 1000 / float64(d.instr)
+		}
+	}
+	for i := range smp.PfAccuracy {
+		if d.pfIssued[i] > 0 {
+			smp.PfAccuracy[i] = float64(d.pfHits[i]) / float64(d.pfIssued[i])
+		}
+	}
+	for c := range s.cores {
+		smp.CapL1I += float64(s.adL1I[c].Cap()) / float64(len(s.cores))
+		smp.CapL1D += float64(s.adL1D[c].Cap()) / float64(len(s.cores))
+	}
+
+	t.samples = append(t.samples, smp)
+	t.prev = now
+	t.prevMaxNow = maxNow
+}
+
+// finish closes the trailing partial interval against the run's final
+// snapshot (taken after the cores drained — the same snapshot the
+// end-of-run Metrics subtract), guaranteeing that the per-interval
+// counters sum exactly to the window totals. If the last boundary fell
+// exactly on the window end, the drain's residual cycles are folded into
+// the final sample instead of opening an empty one.
+func (s *System) finishTelemetry(end totals) []IntervalSample {
+	t := s.tel
+	d := end.sub(t.prev)
+	if d.instr > 0 || len(t.samples) == 0 {
+		s.recordSample(end)
+	} else if extra := s.maxCoreNow() - t.prevMaxNow; extra > 0 {
+		last := &t.samples[len(t.samples)-1]
+		busyIn := last.LinkUtilization * last.Cycles
+		last.Cycles += extra
+		last.IPC = float64(last.Instructions) / last.Cycles
+		last.LinkUtilization = busyIn / last.Cycles
+	}
+	return t.samples
+}

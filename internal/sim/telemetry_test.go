@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestWarmupInvariantQueueDelays is the regression test for the
+// warmup-contamination bug: LinkQueueDelay and DRAMQueueDelay used to be
+// read from the cumulative channel/DRAM counters, so a longer warmup
+// inflated them even though the measurement window was identical in
+// length. Post-fix both are window deltas: growing the warmup 8x must
+// leave them at the same order of magnitude (the window content shifts
+// slightly as the caches warm, hence the factor-2 margin — the pre-fix
+// code reports ~5x and fails).
+func TestWarmupInvariantQueueDelays(t *testing.T) {
+	cfg := smallConfig("fma3d") // bandwidth-bound: heavy link and DRAM queueing
+	cfg.WarmupInstr = 100_000
+	cfg.MeasureInstr = 60_000
+	short := run(t, cfg)
+	cfg.WarmupInstr = 800_000
+	long := run(t, cfg)
+
+	if short.LinkQueueDelay <= 0 || short.DRAMQueueDelay <= 0 {
+		t.Fatalf("fma3d run recorded no queueing: link=%f dram=%f",
+			short.LinkQueueDelay, short.DRAMQueueDelay)
+	}
+	if long.LinkQueueDelay >= 2*short.LinkQueueDelay {
+		t.Fatalf("LinkQueueDelay contaminated by warmup: %f (long warmup) vs %f (short)",
+			long.LinkQueueDelay, short.LinkQueueDelay)
+	}
+	if long.DRAMQueueDelay >= 2*short.DRAMQueueDelay {
+		t.Fatalf("DRAMQueueDelay contaminated by warmup: %f (long warmup) vs %f (short)",
+			long.DRAMQueueDelay, short.DRAMQueueDelay)
+	}
+}
+
+// TestWarmupInvariantHitLatency covers the same bug class for the mean
+// L2 hit latency, whose accumulators also used to span the whole run.
+// With cache compression on, warmup and window see similar hit mixes, so
+// the windowed mean must stay close between warmup lengths.
+func TestWarmupInvariantHitLatency(t *testing.T) {
+	cfg := smallConfig("jbb")
+	cfg.CacheCompression = true
+	cfg.WarmupInstr = 100_000
+	short := run(t, cfg)
+	cfg.WarmupInstr = 600_000
+	long := run(t, cfg)
+	if short.MeanL2HitLatency <= 0 {
+		t.Fatal("no hit latency recorded")
+	}
+	if rel := math.Abs(long.MeanL2HitLatency-short.MeanL2HitLatency) / short.MeanL2HitLatency; rel > 0.25 {
+		t.Fatalf("windowed hit latency unstable across warmups: %f vs %f",
+			short.MeanL2HitLatency, long.MeanL2HitLatency)
+	}
+}
+
+func TestTimelineDisabledIsNil(t *testing.T) {
+	m := run(t, smallConfig("zeus"))
+	if m.Timeline != nil {
+		t.Fatalf("Timeline allocated with telemetry disabled: %d samples", len(m.Timeline))
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	cfg := smallConfig("apache")
+	cfg.Prefetching = true
+	cfg.AdaptivePrefetch = true
+	cfg.CacheCompression = true
+	cfg.LinkCompression = true
+	cfg.TelemetryInterval = 40_000
+	m1 := run(t, cfg)
+	m2 := run(t, cfg)
+	if len(m1.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	if !reflect.DeepEqual(m1.Timeline, m2.Timeline) {
+		t.Fatalf("timeline not deterministic:\n%+v\nvs\n%+v", m1.Timeline, m2.Timeline)
+	}
+}
+
+// TestTimelineReconcilesWithTotals checks the acceptance contract: the
+// per-interval counters sum exactly to the end-of-run window totals
+// (floats within rounding), because both are deltas of the same
+// snapshot sequence.
+func TestTimelineReconcilesWithTotals(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.Prefetching = true
+	cfg.CacheCompression = true
+	cfg.LinkCompression = true
+	cfg.TelemetryInterval = 30_000
+	m := run(t, cfg)
+	if len(m.Timeline) < 5 {
+		t.Fatalf("expected several samples, got %d", len(m.Timeline))
+	}
+
+	var instr, l2Acc, l2Miss, bytes uint64
+	var pfIssued, pfHits [4]uint64
+	var linkQ, dramQ, cycles float64
+	for _, s := range m.Timeline {
+		instr += s.Instructions
+		l2Acc += s.L2Accesses
+		l2Miss += s.L2Misses
+		bytes += s.OffChipBytes
+		linkQ += s.LinkQueueDelay
+		dramQ += s.DRAMQueueDelay
+		cycles += s.Cycles
+		for i := range pfIssued {
+			pfIssued[i] += s.PfIssued[i]
+			pfHits[i] += s.PfHits[i]
+		}
+	}
+	if instr != m.Instructions {
+		t.Errorf("instructions: timeline %d vs totals %d", instr, m.Instructions)
+	}
+	if last := m.Timeline[len(m.Timeline)-1]; last.EndInstr != m.Instructions {
+		t.Errorf("final EndInstr %d != window instructions %d", last.EndInstr, m.Instructions)
+	}
+	if l2Acc != m.L2Accesses || l2Miss != m.L2Misses {
+		t.Errorf("L2: timeline %d/%d vs totals %d/%d", l2Acc, l2Miss, m.L2Accesses, m.L2Misses)
+	}
+	if bytes != m.OffChipBytes {
+		t.Errorf("off-chip bytes: timeline %d vs totals %d", bytes, m.OffChipBytes)
+	}
+	for i := range pfIssued {
+		if pfIssued[i] != m.Engines[i].Prefetches || pfHits[i] != m.Engines[i].PrefetchHits {
+			t.Errorf("engine %d: timeline %d/%d vs totals %d/%d", i,
+				pfIssued[i], pfHits[i], m.Engines[i].Prefetches, m.Engines[i].PrefetchHits)
+		}
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-6*(math.Abs(want)+1) {
+			t.Errorf("%s: timeline sum %f vs totals %f", name, got, want)
+		}
+	}
+	approx("link queue delay", linkQ, m.LinkQueueDelay)
+	approx("DRAM queue delay", dramQ, m.DRAMQueueDelay)
+	// Interval wall-clock telescopes over the max-core clock, which can
+	// differ slightly from the max per-core elapsed that defines Cycles.
+	if cycles < 0.9*m.Cycles || cycles > 1.1*m.Cycles {
+		t.Errorf("cycles: timeline sum %f vs runtime %f", cycles, m.Cycles)
+	}
+}
+
+// TestTimelineShowsAdaptiveConvergence: the adaptive L2 cap must be
+// visible per interval, and on jbb (useless-prefetch-heavy) the final
+// sampled cap must not exceed the startup value it began from.
+func TestTimelineAdaptiveCaps(t *testing.T) {
+	cfg := smallConfig("jbb")
+	cfg.Prefetching = true
+	cfg.AdaptivePrefetch = true
+	cfg.TelemetryInterval = 40_000
+	m := run(t, cfg)
+	if len(m.Timeline) == 0 {
+		t.Fatal("no samples")
+	}
+	last := m.Timeline[len(m.Timeline)-1]
+	if last.CapL2 != m.Adaptive.FinalCapL2 {
+		t.Fatalf("final sampled cap %d != metrics final cap %d", last.CapL2, m.Adaptive.FinalCapL2)
+	}
+}
+
+func TestTimelineIntervalLargerThanWindow(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.TelemetryInterval = 1 << 40 // one trailing sample covers the window
+	m := run(t, cfg)
+	if len(m.Timeline) != 1 {
+		t.Fatalf("expected exactly one sample, got %d", len(m.Timeline))
+	}
+	if m.Timeline[0].Instructions != m.Instructions {
+		t.Fatalf("single sample covers %d of %d instructions",
+			m.Timeline[0].Instructions, m.Instructions)
+	}
+}
+
+func TestSurfacedEvictionCounters(t *testing.T) {
+	cfg := smallConfig("zeus")
+	cfg.Prefetching = true
+	m := run(t, cfg)
+	if m.L2Evictions == 0 {
+		t.Fatal("no L2 evictions surfaced on a thrashing workload")
+	}
+	if m.L2UselessPfEvictions > m.L2Evictions {
+		t.Fatalf("useless-prefetch evictions %d exceed total evictions %d",
+			m.L2UselessPfEvictions, m.L2Evictions)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/report"
 	"cmpsim/internal/sim"
+	"cmpsim/internal/workload"
 )
 
 func main() {
@@ -46,6 +47,34 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the full metric breakdown")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cmpsim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Validate every flag up front: one clear error beats a panic (or a
+	// silently meaningless run) deep inside the simulator.
+	if _, err := workload.ByName(*bench); err != nil {
+		log.Fatal(err)
+	}
+	if *cores < 1 || *cores > 32 {
+		log.Fatalf("-cores %d out of range [1, 32]", *cores)
+	}
+	if *instr == 0 {
+		log.Fatal("-instr must be positive")
+	}
+	if *bwGBps < 0 {
+		log.Fatalf("-bw %g must be >= 0 (0 = infinite pins)", *bwGBps)
+	}
+	if *l2MB < 1 {
+		log.Fatalf("-l2mb %d must be positive", *l2MB)
+	}
+	if *pfKind != "stride" && *pfKind != "sequential" {
+		log.Fatalf("-pf-kind %q must be stride or sequential", *pfKind)
+	}
+	if *l1depth < 0 || *l2depth < 0 {
+		log.Fatal("-l1depth and -l2depth must be >= 0")
+	}
 
 	cfg := sim.NewConfig(*bench)
 	cfg.Cores = *cores

@@ -25,14 +25,21 @@ import (
 	"time"
 
 	"cmpsim/internal/core"
+	"cmpsim/internal/faultinject"
 	"cmpsim/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	// All work happens in run so deferred cleanup (CPU profile,
+	// checkpoint close) executes before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		run        = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+		runNames   = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
 		quick      = flag.Bool("quick", false, "scaled-down runs (fast, noisier)")
 		seeds      = flag.Int("seeds", 0, "override seeds per data point")
 		workers    = flag.Int("workers", 0, "concurrent seed simulations (0 = one per CPU, 1 = serial)")
@@ -42,9 +49,41 @@ func main() {
 		timeline   = flag.String("timeline", "", "directory for per-point interval-timeline exports (JSONL + CSV)")
 		interval   = flag.Uint64("interval", 0, "telemetry interval in aggregate instructions (0 = auto: 1/50 of the window when -timeline is set)")
 		progress   = flag.Bool("progress", false, "log per-point scheduler progress (start/finish/cached) to stderr")
+		checkpoint = flag.String("checkpoint", "", "persist finished points to this JSONL file and resume from it")
+		pointTO    = flag.Duration("point-timeout", 0, "per-seed watchdog deadline; a stuck simulation fails its point (0 = none)")
+		retries    = flag.Int("retries", 0, "retry attempts for retryable point failures")
+		backoff    = flag.Duration("retry-backoff", 0, "first retry delay, doubled per attempt")
+		faults     = flag.String("faultinject", "", "TEST ONLY: deterministic fault rules, e.g. 'kind=panic,bench=zeus,seed=0'")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		log.Printf("unknown -format %q (want text, json or csv)", *format)
+		return 1
+	}
 	outFormat = *format
+	if *seeds < 0 {
+		log.Printf("-seeds %d must be >= 0", *seeds)
+		return 1
+	}
+	if *workers < 0 {
+		log.Printf("-workers %d must be >= 0", *workers)
+		return 1
+	}
+	if *pointTO < 0 || *backoff < 0 {
+		log.Print("-point-timeout and -retry-backoff must be >= 0")
+		return 1
+	}
+	if *retries < 0 {
+		log.Printf("-retries %d must be >= 0", *retries)
+		return 1
+	}
 
 	o := core.DefaultOptions()
 	if *quick {
@@ -54,26 +93,15 @@ func main() {
 		o.Seeds = *seeds
 	}
 	o.Workers = *workers
+	o.PointTimeout = *pointTO
+	o.MaxRetries = *retries
+	o.RetryBackoff = *backoff
 	o.TelemetryInterval = *interval
 	if *timeline != "" && o.TelemetryInterval == 0 {
 		o.TelemetryInterval = o.Measure * uint64(o.Cores) / 50
 		if o.TelemetryInterval == 0 {
 			o.TelemetryInterval = 1
 		}
-	}
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
 	}
 
 	all := experimentTable(o)
@@ -84,45 +112,100 @@ func main() {
 		}
 		sort.Strings(names)
 		fmt.Println(strings.Join(names, " "))
-		return
+		return 0
 	}
 
 	var selected []string
-	if *run == "all" {
+	if *runNames == "all" {
 		for n := range all {
 			selected = append(selected, n)
 		}
 		sort.Strings(selected)
 	} else {
-		selected = strings.Split(*run, ",")
+		for _, name := range strings.Split(*runNames, ",") {
+			selected = append(selected, strings.TrimSpace(name))
+		}
 	}
+	// Validate every name before simulating anything.
+	for _, name := range selected {
+		if _, ok := all[name]; !ok {
+			log.Printf("unknown experiment %q (use -list)", name)
+			return 1
+		}
+	}
+
+	if *timeline != "" {
+		if err := os.MkdirAll(*timeline, 0o755); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Print(err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	// Per-study wall-clock and cache effectiveness: the scheduler
 	// memoizes every unique data point, so studies sharing points (e.g.
 	// table3/fig3/fig5, or any study's Base runs) simulate them once.
 	sched := core.DefaultScheduler()
+	if *faults != "" {
+		in, err := faultinject.Parse(*faults)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		sched.SetFaultHook(in.Hook)
+		fmt.Fprintln(os.Stderr, "[faultinject active: results are intentionally degraded]")
+	}
+	if *checkpoint != "" {
+		cp, err := core.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer cp.Close()
+		sched.SetCheckpoint(cp)
+		fmt.Fprintf(os.Stderr, "[checkpoint %s: %d points restored, %d corrupt records skipped]\n",
+			cp.Path(), cp.Loaded(), cp.Skipped())
+	}
 	if obs := buildObserver(*progress, *timeline); obs != nil {
 		sched.SetObserver(obs)
 	}
 	suiteStart := time.Now()
 	for _, name := range selected {
-		fn, ok := all[strings.TrimSpace(name)]
-		if !ok {
-			log.Fatalf("unknown experiment %q (use -list)", name)
-		}
 		before := sched.Stats()
 		start := time.Now()
-		fn()
+		all[name]()
 		d := sched.Stats()
-		fmt.Fprintf(os.Stderr, "[%s done in %s: %d points simulated (%d runs), %d served from cache]\n",
+		fmt.Fprintf(os.Stderr, "[%s done in %s: %d points simulated (%d runs), %d served from cache, %d from checkpoint, %d failed]\n",
 			name, time.Since(start).Round(time.Millisecond),
 			d.Unique-before.Unique, d.SeedRuns-before.SeedRuns,
-			d.Cached()-before.Cached())
+			d.Cached()-before.Cached(), d.Restored-before.Restored,
+			d.Failed-before.Failed)
 		fmt.Println()
 	}
 	total := sched.Stats()
-	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d workers]\n",
+	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d restored, %d failed, %d workers]\n",
 		time.Since(suiteStart).Round(time.Millisecond),
-		total.Unique, total.Cached(), sched.Workers())
+		total.Unique, total.Cached(), total.Restored, total.Failed, sched.Workers())
+	if total.Failed > 0 {
+		log.Printf("%d point(s) failed; their rows are marked FAILED", total.Failed)
+		return 1
+	}
+	return 0
 }
 
 // outFormat selects text (paper-style tables), json, or csv output.
@@ -134,11 +217,6 @@ var outFormat = "text"
 func buildObserver(progress bool, timelineDir string) core.Observer {
 	if !progress && timelineDir == "" {
 		return nil
-	}
-	if timelineDir != "" {
-		if err := os.MkdirAll(timelineDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
 	}
 	return func(ev core.PointEvent) {
 		if progress {
@@ -156,6 +234,9 @@ func buildObserver(progress bool, timelineDir string) core.Observer {
 				}
 			case core.PointCached:
 				fmt.Fprintf(os.Stderr, "[point %s/%s cached]\n",
+					ev.Benchmark, ev.Mechanisms.Label())
+			case core.PointRestored:
+				fmt.Fprintf(os.Stderr, "[point %s/%s restored from checkpoint]\n",
 					ev.Benchmark, ev.Mechanisms.Label())
 			}
 		}

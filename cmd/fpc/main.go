@@ -22,7 +22,9 @@ func main() {
 	verify := flag.Bool("verify", true, "round-trip every block through Encode/Decode")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fpc <file|-> ")
+		fmt.Fprintln(os.Stderr, "fpc: usage: fpc [-verify=false] <file|->")
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var in io.Reader

@@ -28,6 +28,17 @@ func main() {
 		inspect = flag.String("inspect", "", "print a summary of an existing trace and exit")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 1 {
+		log.Fatalf("-n %d must be positive", *n)
+	}
+	if *core < 0 || *core > 31 {
+		log.Fatalf("-core %d out of range [0, 31]", *core)
+	}
 
 	if *inspect != "" {
 		if err := inspectTrace(*inspect); err != nil {

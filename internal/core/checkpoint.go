@@ -1,0 +1,205 @@
+// Persistent point-cache checkpointing. A Checkpoint mirrors the
+// scheduler's memoized point cache into a checksummed JSONL file, one
+// finished point per line, written incrementally as points finish. A
+// re-run of an interrupted study opens the same file, restores every
+// intact record, and simulates only the missing points.
+//
+// File format (one JSON object per line):
+//
+//	{"v":1,"crc":<IEEE CRC-32 of data>,"data":{benchmark,mechanisms,options,point}}
+//
+// The data payload stores the point's canonical cache key alongside the
+// full Point (all seed runs plus the runtime summary). Restores are
+// bit-identical to fresh simulation: every numeric field round-trips
+// exactly through encoding/json (shortest-form float encoding), which
+// preserves the PR 1 determinism contract across process restarts.
+//
+// Corruption handling: a record whose line fails to parse, whose CRC
+// mismatches, or whose run count disagrees with its options is counted
+// in Skipped and ignored — never trusted — and the point is simply
+// re-simulated. A truncated trailing line (process killed mid-write) is
+// healed on open so later appends start on a fresh line.
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// checkpointVersion guards the record schema; bump on incompatible
+// changes so old files are skipped rather than misread.
+const checkpointVersion = 1
+
+// checkpointData is the checksummed payload of one record: the point's
+// canonical cache key plus the finished Point.
+type checkpointData struct {
+	Benchmark  string     `json:"benchmark"`
+	Mechanisms Mechanisms `json:"mechanisms"`
+	Options    Options    `json:"options"`
+	Point      Point      `json:"point"`
+}
+
+// checkpointLine is one JSONL line on disk.
+type checkpointLine struct {
+	V    int             `json:"v"`
+	CRC  uint32          `json:"crc"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Checkpoint is a persistent point cache backed by a checksummed JSONL
+// file. All methods are safe for concurrent use; a Checkpoint assumes a
+// single writing process (no file locking).
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	points  map[pointKey]Point
+	loaded  int
+	skipped int
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint file and loads
+// every intact record. Corrupt or incompatible records are counted in
+// Skipped and ignored.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	cp := &Checkpoint{f: f, path: path, points: make(map[pointKey]Point)}
+	if err := cp.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cp, nil
+}
+
+// load scans the whole file, restoring intact records, and leaves the
+// file offset at the end ready for appends (healing a truncated tail).
+func (c *Checkpoint) load() error {
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26) // points with miss profiles are large
+	endsWithNewline := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			c.skipped++
+			continue
+		}
+		if rec.V != checkpointVersion || crc32.ChecksumIEEE(rec.Data) != rec.CRC {
+			c.skipped++
+			continue
+		}
+		var d checkpointData
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			c.skipped++
+			continue
+		}
+		opts := canonicalOpts(d.Options)
+		if opts.Seeds < 1 || len(d.Point.Runs) != opts.Seeds {
+			c.skipped++
+			continue
+		}
+		c.points[pointKey{bench: d.Benchmark, mech: d.Mechanisms, opts: opts}] = d.Point
+		c.loaded++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("core: read checkpoint %s: %w", c.path, err)
+	}
+	// Heal a missing trailing newline (kill mid-write) so the next
+	// append does not concatenate onto the partial record.
+	if end, err := c.f.Seek(0, io.SeekEnd); err == nil && end > 0 {
+		buf := make([]byte, 1)
+		if _, err := c.f.ReadAt(buf, end-1); err == nil && buf[0] != '\n' {
+			endsWithNewline = false
+		}
+	}
+	if !endsWithNewline {
+		if _, err := c.f.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("core: heal checkpoint %s: %w", c.path, err)
+		}
+	}
+	return nil
+}
+
+// Loaded returns how many intact records the open call restored.
+func (c *Checkpoint) Loaded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded
+}
+
+// Skipped returns how many corrupt or incompatible records were
+// detected and ignored on load.
+func (c *Checkpoint) Skipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
+}
+
+// Path returns the backing file's path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Close flushes and closes the backing file. The in-memory point set
+// stays usable for lookups; appends after Close fail.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}
+
+// restore fills e from the checkpointed point for k, if present. Called
+// by Submit with the scheduler lock held; it touches only e (not yet
+// shared) and the checkpoint's own state.
+func (c *Checkpoint) restore(k pointKey, e *pointEntry) bool {
+	c.mu.Lock()
+	p, ok := c.points[k]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.point = p
+	e.runs = p.Runs
+	close(e.done)
+	return true
+}
+
+// add appends one finished point as a checksummed record and syncs, so
+// a kill at any moment loses at most the record being written.
+func (c *Checkpoint) add(k pointKey, p Point) error {
+	data, err := json.Marshal(checkpointData{
+		Benchmark: k.bench, Mechanisms: k.mech, Options: k.opts, Point: p,
+	})
+	if err != nil {
+		return fmt.Errorf("core: encode checkpoint record: %w", err)
+	}
+	line, err := json.Marshal(checkpointLine{
+		V: checkpointVersion, CRC: crc32.ChecksumIEEE(data), Data: data,
+	})
+	if err != nil {
+		return fmt.Errorf("core: encode checkpoint line: %w", err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.points[k]; ok {
+		return nil // already persisted (e.g. restored point resubmitted)
+	}
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("core: append checkpoint record: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("core: sync checkpoint: %w", err)
+	}
+	c.points[k] = p
+	return nil
+}

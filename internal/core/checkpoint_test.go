@@ -1,0 +1,205 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCheckpointResume(t *testing.T) {
+	o := tinyOptions()
+	path := filepath.Join(t.TempDir(), "points.jsonl")
+
+	// First process: simulate a subset, then "die".
+	cp1, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScheduler(2)
+	s1.SetCheckpoint(cp1)
+	p1 := s1.Submit("zeus", Base, o).MustWait()
+	p2 := s1.Submit("zeus", CacheCompr, o).MustWait()
+	s1.Close()
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: resume. The two finished points are restored
+	// bit-identically; only the missing ones simulate.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Loaded() != 2 || cp2.Skipped() != 0 {
+		t.Fatalf("loaded %d skipped %d, want 2/0", cp2.Loaded(), cp2.Skipped())
+	}
+	s2 := NewScheduler(2)
+	defer s2.Close()
+	s2.SetCheckpoint(cp2)
+
+	r1 := s2.Submit("zeus", Base, o).MustWait()
+	r2 := s2.Submit("zeus", CacheCompr, o).MustWait()
+	r3 := s2.Submit("zeus", Prefetch, o).MustWait() // not in the checkpoint
+
+	if !reflect.DeepEqual(r1, p1) || !reflect.DeepEqual(r2, p2) {
+		t.Fatal("restored points are not bit-identical to the original run")
+	}
+	if want := faultFreePoint(t, "zeus", Prefetch, o); !reflect.DeepEqual(r3, want) {
+		t.Fatal("freshly simulated point differs from fault-free reference")
+	}
+	st := s2.Stats()
+	if st.Restored != 2 || st.Unique != 1 || st.SeedRuns != uint64(o.Seeds) {
+		t.Fatalf("resume stats = %+v (want 2 restored, 1 simulated)", st)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	o := tinyOptions()
+	path := filepath.Join(t.TempDir(), "points.jsonl")
+
+	cp1, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScheduler(2)
+	s1.SetCheckpoint(cp1)
+	want := s1.Submit("zeus", Base, o).MustWait()
+	s1.Close()
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the record's data payload: the CRC must catch
+	// it and the point must be re-simulated, never trusted.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := len(raw) / 2
+	raw[i] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Loaded() != 0 || cp2.Skipped() != 1 {
+		t.Fatalf("loaded %d skipped %d, want 0/1", cp2.Loaded(), cp2.Skipped())
+	}
+	s2 := NewScheduler(2)
+	defer s2.Close()
+	s2.SetCheckpoint(cp2)
+	got := s2.Submit("zeus", Base, o).MustWait()
+	if st := s2.Stats(); st.Restored != 0 || st.Unique != 1 {
+		t.Fatalf("corrupt record was trusted: %+v", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("re-simulated point differs from the original")
+	}
+}
+
+func TestCheckpointHealsTruncatedTail(t *testing.T) {
+	o := tinyOptions()
+	path := filepath.Join(t.TempDir(), "points.jsonl")
+
+	cp1, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScheduler(2)
+	s1.SetCheckpoint(cp1)
+	s1.Submit("zeus", Base, o).MustWait()
+	s1.Close()
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-write: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"crc":12,"data":{"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reopen: the partial line is skipped and healed so the next append
+	// starts fresh.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Loaded() != 1 || cp2.Skipped() != 1 {
+		t.Fatalf("loaded %d skipped %d, want 1/1", cp2.Loaded(), cp2.Skipped())
+	}
+	s2 := NewScheduler(2)
+	s2.SetCheckpoint(cp2)
+	s2.Submit("zeus", CacheCompr, o).MustWait()
+	s2.Close()
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp3.Close()
+	if cp3.Loaded() != 2 {
+		t.Fatalf("post-heal append lost: loaded %d, want 2", cp3.Loaded())
+	}
+}
+
+func TestCheckpointStudyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study round trip")
+	}
+	o := tinyOptions()
+	benches := []string{"zeus", "mgrid"}
+	path := filepath.Join(t.TempDir(), "points.jsonl")
+
+	fresh := func() []CompressionRow {
+		s := NewScheduler(2)
+		defer s.Close()
+		return s.CompressionStudy(benches, o)
+	}()
+
+	// Interrupted run: only zeus's points land in the checkpoint.
+	cp1, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScheduler(2)
+	s1.SetCheckpoint(cp1)
+	s1.CompressionStudy(benches[:1], o)
+	s1.Close()
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed run: the full study must reproduce the fresh rows exactly
+	// while simulating only mgrid's points.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	s2 := NewScheduler(2)
+	defer s2.Close()
+	s2.SetCheckpoint(cp2)
+	resumed := s2.CompressionStudy(benches, o)
+
+	if !reflect.DeepEqual(resumed, fresh) {
+		t.Fatalf("resumed study differs from fresh run:\nfresh   %+v\nresumed %+v", fresh, resumed)
+	}
+	st := s2.Stats()
+	if st.Restored != 4 || st.Unique != 4 {
+		t.Fatalf("stats = %+v (want 4 restored zeus points, 4 simulated mgrid points)", st)
+	}
+}

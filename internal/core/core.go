@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
@@ -74,6 +75,19 @@ type Options struct {
 	Cores   int
 	Seeds   int // independent runs per data point
 	Workers int // concurrent seed simulations; <= 0 = one per CPU
+
+	// Robustness knobs (scheduling-only: they never change simulation
+	// results and are excluded from the point-cache key).
+	//
+	// PointTimeout is the per-seed watchdog deadline: a simulation that
+	// produces no result within it is abandoned and the point fails with
+	// a timeout PointError (0 = no deadline). MaxRetries bounds
+	// retry-with-backoff for retryable failures (see IsRetryable);
+	// RetryBackoff is the first retry's delay, doubled per attempt
+	// (0 = retry immediately).
+	PointTimeout time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
 
 	Warmup        uint64  // instructions per core
 	Measure       uint64  // instructions per core

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
@@ -13,6 +15,39 @@ import (
 // the same order, with bit-identical metrics, as the old serial drivers.
 // The package-level functions run on the process-wide scheduler; the
 // Scheduler methods allow isolated caches (tests, ablation harnesses).
+//
+// Studies degrade gracefully: a failed point (panic, watchdog timeout,
+// exhausted retries, invalid request) does not abort the study — the
+// affected row carries the failure reason in its Failed field, renders
+// as a FAILED(reason) cell in internal/report, and leaves every other
+// row bit-identical to a fault-free run.
+
+// await resolves a row's futures in submit order. It always waits for
+// every future (so scheduler accounting stays deterministic) and
+// returns the points plus the first failure's reason, "" when the whole
+// row succeeded.
+func await(fs ...*PointFuture) ([]Point, string) {
+	pts := make([]Point, len(fs))
+	failed := ""
+	for i, f := range fs {
+		p, err := f.Wait()
+		if err != nil && failed == "" {
+			failed = failureReason(err)
+		}
+		pts[i] = p
+	}
+	return pts, failed
+}
+
+// failureReason compresses a point error into the short form FAILED
+// cells print.
+func failureReason(err error) string {
+	var pe *PointError
+	if errors.As(err, &pe) {
+		return pe.Cell()
+	}
+	return err.Error()
+}
 
 // CompressionRow is one benchmark's compression study results:
 // Table 3 (ratio), Figure 3 (miss-rate reduction) and Figure 5
@@ -26,6 +61,7 @@ type CompressionRow struct {
 	SpeedupCachePct  float64 // Figure 5: cache compression only
 	SpeedupLinkPct   float64 // Figure 5: link compression only
 	SpeedupBothPct   float64 // Figure 5: both
+	Failed           string  `json:",omitempty"` // non-empty: the row failed for this reason
 }
 
 // CompressionStudy regenerates Table 3, Figure 3 and Figure 5.
@@ -47,10 +83,12 @@ func (s *Scheduler) CompressionStudy(benchmarks []string, o Options) []Compressi
 	}
 	rows := make([]CompressionRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		base := subs[i].base.MustWait()
-		cc := subs[i].cc.MustWait()
-		lc := subs[i].lc.MustWait()
-		both := subs[i].both.MustWait()
+		pts, failed := await(subs[i].base, subs[i].cc, subs[i].lc, subs[i].both)
+		if failed != "" {
+			rows = append(rows, CompressionRow{Benchmark: b, Failed: failed})
+			continue
+		}
+		base, cc, lc, both := pts[0], pts[1], pts[2], pts[3]
 		rows = append(rows, CompressionRow{
 			Benchmark:        b,
 			Ratio:            cc.Mean(func(m *sim.Metrics) float64 { return m.CompressionRatio }),
@@ -82,6 +120,7 @@ type BandwidthRow struct {
 	CacheOnly float64
 	LinkOnly  float64
 	Both      float64
+	Failed    string `json:",omitempty"`
 }
 
 // BandwidthStudy regenerates Figure 4. It forces infinite pin bandwidth
@@ -108,12 +147,17 @@ func (s *Scheduler) BandwidthStudy(benchmarks []string, o Options) []BandwidthRo
 	}
 	rows := make([]BandwidthRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
+		pts, failed := await(subs[i].none, subs[i].cache, subs[i].link, subs[i].both)
+		if failed != "" {
+			rows = append(rows, BandwidthRow{Benchmark: b, Failed: failed})
+			continue
+		}
 		rows = append(rows, BandwidthRow{
 			Benchmark: b,
-			None:      bw(subs[i].none.MustWait()),
-			CacheOnly: bw(subs[i].cache.MustWait()),
-			LinkOnly:  bw(subs[i].link.MustWait()),
-			Both:      bw(subs[i].both.MustWait()),
+			None:      bw(pts[0]),
+			CacheOnly: bw(pts[1]),
+			LinkOnly:  bw(pts[2]),
+			Both:      bw(pts[3]),
 		})
 	}
 	return rows
@@ -126,6 +170,7 @@ type PrefetchPropsRow struct {
 	L1I       PrefetcherProps
 	L1D       PrefetcherProps
 	L2        PrefetcherProps
+	Failed    string `json:",omitempty"`
 }
 
 // PrefetcherProps is EQ 2-4 for one engine class.
@@ -149,7 +194,12 @@ func (s *Scheduler) PrefetchProperties(benchmarks []string, o Options) []Prefetc
 	}
 	rows := make([]PrefetchPropsRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		p := subs[i].MustWait()
+		pts, failed := await(subs[i])
+		if failed != "" {
+			rows = append(rows, PrefetchPropsRow{Benchmark: b, Failed: failed})
+			continue
+		}
+		p := pts[0]
 		props := func(src coherence.PfSource) PrefetcherProps {
 			var pr PrefetcherProps
 			for i := range p.Runs {
@@ -179,6 +229,7 @@ type PrefetchSpeedupRow struct {
 	Benchmark          string
 	SpeedupPct         float64 // base stride prefetching
 	AdaptiveSpeedupPct float64
+	Failed             string `json:",omitempty"`
 }
 
 // PrefetchStudy regenerates Figure 6.
@@ -199,11 +250,15 @@ func (s *Scheduler) PrefetchStudy(benchmarks []string, o Options) []PrefetchSpee
 	}
 	rows := make([]PrefetchSpeedupRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		base := subs[i].base.MustWait()
+		pts, failed := await(subs[i].base, subs[i].pf, subs[i].ad)
+		if failed != "" {
+			rows = append(rows, PrefetchSpeedupRow{Benchmark: b, Failed: failed})
+			continue
+		}
 		rows = append(rows, PrefetchSpeedupRow{
 			Benchmark:          b,
-			SpeedupPct:         stats.SpeedupPct(Speedup(base, subs[i].pf.MustWait())),
-			AdaptiveSpeedupPct: stats.SpeedupPct(Speedup(base, subs[i].ad.MustWait())),
+			SpeedupPct:         stats.SpeedupPct(Speedup(pts[0], pts[1])),
+			AdaptiveSpeedupPct: stats.SpeedupPct(Speedup(pts[0], pts[2])),
 		})
 	}
 	return rows
@@ -219,6 +274,7 @@ type InteractionRow struct {
 	InteractionPct       float64 // EQ 5
 	BWBasePrefGrowthPct  float64 // Figure 7: demand growth of pf alone
 	BWComprPrefGrowthPct float64 // Figure 7: demand growth of pf+compr
+	Failed               string `json:",omitempty"`
 }
 
 // InteractionStudy regenerates Table 5, Figure 9 and the Figure 7 demand
@@ -248,27 +304,33 @@ func (s *Scheduler) InteractionStudy(benchmarks []string, o Options) []Interacti
 			bwBoth: s.Submit(b, PrefCompr, oInf),
 		}
 	}
-	bw := func(f *PointFuture) float64 {
-		return f.MustWait().Mean(func(m *sim.Metrics) float64 { return m.BandwidthGBps })
+	bw := func(p Point) float64 {
+		return p.Mean(func(m *sim.Metrics) float64 { return m.BandwidthGBps })
 	}
 	rows := make([]InteractionRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		base := subs[i].base.MustWait()
-		sp := Speedup(base, subs[i].pf.MustWait())
-		sc := Speedup(base, subs[i].compr.MustWait())
-		sb := Speedup(base, subs[i].both.MustWait())
+		pts, failed := await(subs[i].base, subs[i].pf, subs[i].compr, subs[i].both,
+			subs[i].adBoth, subs[i].bwBase, subs[i].bwPf, subs[i].bwBoth)
+		if failed != "" {
+			rows = append(rows, InteractionRow{Benchmark: b, Failed: failed})
+			continue
+		}
+		base := pts[0]
+		sp := Speedup(base, pts[1])
+		sc := Speedup(base, pts[2])
+		sb := Speedup(base, pts[3])
 
 		row := InteractionRow{
 			Benchmark:       b,
 			PrefPct:         stats.SpeedupPct(sp),
 			ComprPct:        stats.SpeedupPct(sc),
 			BothPct:         stats.SpeedupPct(sb),
-			AdaptiveBothPct: stats.SpeedupPct(Speedup(base, subs[i].adBoth.MustWait())),
+			AdaptiveBothPct: stats.SpeedupPct(Speedup(base, pts[4])),
 			InteractionPct:  stats.InteractionPct(sp, sc, sb),
 		}
-		if bwBase := bw(subs[i].bwBase); bwBase > 0 {
-			row.BWBasePrefGrowthPct = (bw(subs[i].bwPf)/bwBase - 1) * 100
-			row.BWComprPrefGrowthPct = (bw(subs[i].bwBoth)/bwBase - 1) * 100
+		if bwBase := bw(pts[5]); bwBase > 0 {
+			row.BWBasePrefGrowthPct = (bw(pts[6])/bwBase - 1) * 100
+			row.BWComprPrefGrowthPct = (bw(pts[7])/bwBase - 1) * 100
 		}
 		rows = append(rows, row)
 	}
@@ -282,6 +344,7 @@ type AdaptiveRow struct {
 	AdaptivePct      float64
 	PrefComprPct     float64
 	AdaptiveComprPct float64
+	Failed           string `json:",omitempty"`
 }
 
 // AdaptiveStudy regenerates Figure 10 (the paper shows the commercial
@@ -306,9 +369,14 @@ func (s *Scheduler) AdaptiveStudy(benchmarks []string, o Options) []AdaptiveRow 
 	}
 	rows := make([]AdaptiveRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		base := subs[i].base.MustWait()
+		pts, failed := await(subs[i].base, subs[i].enh[0], subs[i].enh[1], subs[i].enh[2], subs[i].enh[3])
+		if failed != "" {
+			rows = append(rows, AdaptiveRow{Benchmark: b, Failed: failed})
+			continue
+		}
+		base := pts[0]
 		sp := func(j int) float64 {
-			return stats.SpeedupPct(Speedup(base, subs[i].enh[j].MustWait()))
+			return stats.SpeedupPct(Speedup(base, pts[1+j]))
 		}
 		rows = append(rows, AdaptiveRow{
 			Benchmark:        b,
@@ -331,6 +399,7 @@ type MissClassRow struct {
 	EitherPct      float64 // avoidable by either (the overlap)
 	PrefFetchPct   float64 // prefetch fetches not avoided by compression
 	PrefAvoidedPct float64 // prefetch fetches avoided by compression
+	Failed         string  `json:",omitempty"`
 }
 
 // MissClassification regenerates Figure 8 using per-block miss profiles
@@ -356,10 +425,15 @@ func (s *Scheduler) MissClassification(benchmarks []string, o Options) []MissCla
 	}
 	rows := make([]MissClassRow, 0, len(benchmarks))
 	for i, b := range benchmarks {
-		base := subs[i].base.MustWait().Runs[0]
-		compr := subs[i].compr.MustWait().Runs[0]
-		pf := subs[i].pf.MustWait().Runs[0]
-		both := subs[i].both.MustWait().Runs[0]
+		pts, failed := await(subs[i].base, subs[i].compr, subs[i].pf, subs[i].both)
+		if failed != "" {
+			rows = append(rows, MissClassRow{Benchmark: b, Failed: failed})
+			continue
+		}
+		base := pts[0].Runs[0]
+		compr := pts[1].Runs[0]
+		pf := pts[2].Runs[0]
+		both := pts[3].Runs[0]
 
 		var total, onlyC, onlyP, either float64
 		for blk, m0 := range base.MissProfile {
@@ -410,6 +484,7 @@ func avoided(base, enh uint32) float64 {
 type BandwidthSweepRow struct {
 	Benchmark      string
 	InteractionPct map[int]float64 // GB/s -> interaction %
+	Failed         string          `json:",omitempty"`
 }
 
 // BandwidthSweep regenerates Figure 11 (10-80 GB/s).
@@ -438,11 +513,20 @@ func (s *Scheduler) BandwidthSweep(benchmarks []string, bandwidths []int, o Opti
 	for i, b := range benchmarks {
 		row := BandwidthSweepRow{Benchmark: b, InteractionPct: map[int]float64{}}
 		for j, gb := range bandwidths {
-			base := subs[i][j].base.MustWait()
-			sp := Speedup(base, subs[i][j].pf.MustWait())
-			sc := Speedup(base, subs[i][j].compr.MustWait())
-			sb := Speedup(base, subs[i][j].both.MustWait())
+			pts, failed := await(subs[i][j].base, subs[i][j].pf, subs[i][j].compr, subs[i][j].both)
+			if failed != "" && row.Failed == "" {
+				row.Failed = failed
+			}
+			if row.Failed != "" {
+				continue
+			}
+			sp := Speedup(pts[0], pts[1])
+			sc := Speedup(pts[0], pts[2])
+			sb := Speedup(pts[0], pts[3])
 			row.InteractionPct[gb] = stats.InteractionPct(sp, sc, sb)
+		}
+		if row.Failed != "" {
+			row.InteractionPct = nil
 		}
 		rows = append(rows, row)
 	}
@@ -459,6 +543,7 @@ type CoreSweepRow struct {
 	ComprPct    float64
 	BothPct     float64
 	AdBothPct   float64
+	Failed      string `json:",omitempty"`
 }
 
 // CoreSweep regenerates Figure 1 (zeus) and Figure 12 (apache, jbb):
@@ -486,9 +571,15 @@ func (s *Scheduler) CoreSweep(bench string, coreCounts []int, o Options) []CoreS
 	}
 	rows := make([]CoreSweepRow, 0, len(coreCounts))
 	for i, n := range coreCounts {
-		base := subs[i].base.MustWait()
+		pts, failed := await(subs[i].base, subs[i].enh[0], subs[i].enh[1],
+			subs[i].enh[2], subs[i].enh[3], subs[i].enh[4])
+		if failed != "" {
+			rows = append(rows, CoreSweepRow{Benchmark: bench, Cores: n, Failed: failed})
+			continue
+		}
+		base := pts[0]
 		sp := func(j int) float64 {
-			return stats.SpeedupPct(Speedup(base, subs[i].enh[j].MustWait()))
+			return stats.SpeedupPct(Speedup(base, pts[1+j]))
 		}
 		rows = append(rows, CoreSweepRow{
 			Benchmark:   bench,

@@ -8,11 +8,21 @@
 // assembled in seed order before the point is published. The resulting
 // Point — including the stats.Summarize reduction — is therefore
 // bit-identical whatever the worker count, including Workers == 1.
+//
+// Fault tolerance: every seed job runs with panic isolation, an
+// optional watchdog deadline (Options.PointTimeout) and bounded
+// retry-with-backoff for retryable failures; a failed point resolves
+// its future with a *PointError instead of crashing the pool (see
+// faults.go). A Checkpoint (SetCheckpoint) persists finished points to
+// a checksummed JSONL file and restores them on resubmission, so an
+// interrupted sweep resumes with only the missing points simulated.
 package core
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -31,6 +41,9 @@ const (
 	PointFinish
 	// PointCached: a Submit was served from the memoized point cache.
 	PointCached
+	// PointRestored: a Submit was served from the checkpoint file
+	// without simulating (checkpoint/resume).
+	PointRestored
 )
 
 // String names the event kind for progress displays.
@@ -42,6 +55,8 @@ func (k PointEventKind) String() string {
 		return "finish"
 	case PointCached:
 		return "cached"
+	case PointRestored:
+		return "restored"
 	default:
 		return fmt.Sprintf("PointEventKind(%d)", int(k))
 	}
@@ -61,8 +76,16 @@ type PointEvent struct {
 
 // Observer receives progress events. Finish events fire from worker
 // goroutines, so an observer must be safe for concurrent use; it should
-// also return quickly, since it runs on the simulation workers.
+// also return quickly, since it runs on the simulation workers. A
+// panicking observer cannot kill a worker: the scheduler recovers,
+// reports the first such panic to stderr, and keeps simulating.
 type Observer func(PointEvent)
+
+// FaultHook is consulted before every seed simulation. It exists for
+// deterministic fault injection (internal/faultinject): the hook may
+// panic, stall, or return an error, and the scheduler must survive all
+// three. A nil hook is a no-op.
+type FaultHook func(bench, label string, seed int) error
 
 // pointKey identifies one unique data point in the scheduler cache.
 type pointKey struct {
@@ -72,11 +95,15 @@ type pointKey struct {
 }
 
 // canonicalOpts normalizes scheduling-only and aliasing fields so that
-// equivalent requests share one cache entry: Workers does not affect
+// equivalent requests share one cache entry: Workers and the robustness
+// knobs (PointTimeout, MaxRetries, RetryBackoff) do not affect
 // simulation results, "stride" names the engine "" already selects, and
 // DecompressionCycles is ignored by config unless DecompressionSet.
 func canonicalOpts(o Options) Options {
 	o.Workers = 0
+	o.PointTimeout = 0
+	o.MaxRetries = 0
+	o.RetryBackoff = 0
 	if o.PrefetcherKind == "stride" {
 		o.PrefetcherKind = ""
 	}
@@ -96,6 +123,13 @@ type pointEntry struct {
 	started time.Time
 	notify  Observer // observer at submit time (nil = no events)
 
+	// Robustness settings captured from the submitting Options (they are
+	// canonicalized out of the cache key but still govern execution).
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
+	faultHook FaultHook
+
 	mu      sync.Mutex
 	runs    []sim.Metrics
 	pending int
@@ -105,10 +139,17 @@ type pointEntry struct {
 	done  chan struct{}
 }
 
-// runSeed executes one seed's simulation and publishes the point when
-// it is the last seed to finish.
-func (e *pointEntry) runSeed(seed int) {
-	met, err := sim.Run(e.opts.config(e.bench, e.mech, int64(seed)+1))
+// key rebuilds the entry's cache key (opts are already canonical).
+func (e *pointEntry) key() pointKey {
+	return pointKey{bench: e.bench, mech: e.mech, opts: e.opts}
+}
+
+// runSeed executes one seed's simulation — with panic isolation, the
+// watchdog deadline and retry policy (faults.go) — and publishes the
+// point when it is the last seed to finish. Successful points are
+// appended to the scheduler's checkpoint, failed ones counted.
+func (e *pointEntry) runSeed(s *Scheduler, seed int) {
+	met, err := e.simulateSeed(s, seed)
 	e.mu.Lock()
 	if err != nil && e.err == nil {
 		e.err = err
@@ -130,16 +171,19 @@ func (e *pointEntry) runSeed(seed int) {
 		e.point = p
 	}
 	close(e.done)
-	if e.notify != nil {
-		ev := PointEvent{
-			Kind: PointFinish, Benchmark: e.bench, Mechanisms: e.mech, Options: e.opts,
-			Seeds: len(e.runs), Wall: time.Since(e.started), Err: e.err,
-		}
-		if e.err == nil {
-			ev.Point = &e.point
-		}
-		e.notify(ev)
+	if e.err == nil {
+		s.checkpointAdd(e.key(), e.point)
+	} else {
+		s.noteFailed()
 	}
+	ev := PointEvent{
+		Kind: PointFinish, Benchmark: e.bench, Mechanisms: e.mech, Options: e.opts,
+		Seeds: len(e.runs), Wall: time.Since(e.started), Err: e.err,
+	}
+	if e.err == nil {
+		ev.Point = &e.point
+	}
+	s.safeNotify(e.notify, ev)
 }
 
 // PointFuture is a handle to a submitted (possibly cached) data point.
@@ -171,18 +215,26 @@ type seedJob struct {
 // order, so output order stays deterministic while the pool runs ahead.
 // All methods are safe for concurrent use.
 type Scheduler struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []seedJob
-	target   int // pool size; workers spawn lazily up to it
-	running  int
-	closed   bool
-	cache    map[pointKey]*pointEntry
-	observer Observer
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []seedJob
+	target     int // pool size; workers spawn lazily up to it
+	running    int
+	closed     bool
+	cache      map[pointKey]*pointEntry
+	observer   Observer
+	faultHook  FaultHook
+	checkpoint *Checkpoint
 
 	requests uint64
 	unique   uint64
 	seedRuns uint64
+	restored uint64
+	failed   uint64
+	retries  uint64
+
+	obsPanicOnce sync.Once // first observer panic reported to stderr
+	cpErrOnce    sync.Once // first checkpoint write error reported
 }
 
 // SetObserver installs (or, with nil, removes) the progress observer.
@@ -191,6 +243,75 @@ type Scheduler struct {
 func (s *Scheduler) SetObserver(fn Observer) {
 	s.mu.Lock()
 	s.observer = fn
+	s.mu.Unlock()
+}
+
+// SetFaultHook installs (or, with nil, removes) the deterministic
+// fault-injection hook consulted before every seed simulation. Points
+// submitted before the call keep the hook they were submitted with.
+// This is test-only plumbing for internal/faultinject.
+func (s *Scheduler) SetFaultHook(fn FaultHook) {
+	s.mu.Lock()
+	s.faultHook = fn
+	s.mu.Unlock()
+}
+
+// SetCheckpoint attaches a persistent point checkpoint: finished points
+// are appended to it, and submissions it already holds are restored
+// without simulating (PointRestored events). Attach before the study
+// drivers run. A nil checkpoint detaches.
+func (s *Scheduler) SetCheckpoint(cp *Checkpoint) {
+	s.mu.Lock()
+	s.checkpoint = cp
+	s.mu.Unlock()
+}
+
+// safeNotify delivers ev to fn, recovering observer panics so they
+// cannot kill a worker goroutine. The first panic is reported once to
+// stderr; later ones are dropped.
+func (s *Scheduler) safeNotify(fn Observer, ev PointEvent) {
+	if fn == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.obsPanicOnce.Do(func() {
+				fmt.Fprintf(os.Stderr, "core: observer panicked (event %s, point %s/%s): %v\n%s",
+					ev.Kind, ev.Benchmark, ev.Mechanisms.Label(), r, debug.Stack())
+			})
+		}
+	}()
+	fn(ev)
+}
+
+// checkpointAdd appends a finished point to the attached checkpoint, if
+// any. Write failures must not fail the point (the result is still good
+// in memory), so they are reported to stderr once and otherwise dropped.
+func (s *Scheduler) checkpointAdd(k pointKey, p Point) {
+	s.mu.Lock()
+	cp := s.checkpoint
+	s.mu.Unlock()
+	if cp == nil {
+		return
+	}
+	if err := cp.add(k, p); err != nil {
+		s.cpErrOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "core: checkpoint write failed: %v\n", err)
+		})
+	}
+}
+
+// noteFailed counts a point that finished with an error.
+func (s *Scheduler) noteFailed() {
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
+}
+
+// noteRetry counts one seed-level retry.
+func (s *Scheduler) noteRetry() {
+	s.mu.Lock()
+	s.retries++
 	s.mu.Unlock()
 }
 
@@ -248,7 +369,7 @@ func (s *Scheduler) worker() {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
-		j.entry.runSeed(j.seed)
+		j.entry.runSeed(s, j.seed)
 		s.mu.Lock()
 	}
 }
@@ -257,8 +378,9 @@ func (s *Scheduler) worker() {
 // the point's seed jobs are queued (or the cached entry is found) and a
 // future is returned for collection via Wait. Invalid requests resolve
 // immediately with the same errors Run reports. Progress events fire
-// outside the scheduler lock: PointCached for cache hits, PointStart for
-// newly queued points, PointFinish when the last seed lands (invalid
+// outside the scheduler lock: PointCached for cache hits, PointRestored
+// for points served from the attached checkpoint, PointStart for newly
+// queued points, PointFinish when the last seed lands (invalid
 // submissions fire PointFinish with the error directly).
 func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 	key := pointKey{bench: bench, mech: m, opts: canonicalOpts(o)}
@@ -267,25 +389,30 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 	if e, ok := s.cache[key]; ok {
 		obs := s.observer
 		s.mu.Unlock()
-		if obs != nil {
-			obs(PointEvent{Kind: PointCached, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
-		}
+		s.safeNotify(obs, PointEvent{Kind: PointCached, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
 		return &PointFuture{e}
 	}
 	e := &pointEntry{
 		bench: bench, mech: m, opts: key.opts,
 		started: time.Now(), notify: s.observer, done: make(chan struct{}),
+		timeout: o.PointTimeout, retries: o.MaxRetries, backoff: o.RetryBackoff,
+		faultHook: s.faultHook,
 	}
 	s.cache[key] = e
 	_, werr := workload.ByName(bench)
-	queued := false
+	kind := PointFinish
 	switch {
 	case o.Seeds < 1:
 		e.err = fmt.Errorf("core: Seeds must be at least 1")
+		s.failed++
 		close(e.done)
 	case werr != nil:
 		e.err = werr
+		s.failed++
 		close(e.done)
+	case s.checkpoint != nil && s.checkpoint.restore(key, e):
+		s.restored++
+		kind = PointRestored
 	default:
 		if s.closed {
 			s.mu.Unlock()
@@ -303,16 +430,17 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 		}
 		s.spawnLocked()
 		s.cond.Broadcast()
-		queued = true
+		kind = PointStart
 	}
 	s.mu.Unlock()
-	if e.notify != nil {
-		if queued {
-			e.notify(PointEvent{Kind: PointStart, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
-		} else {
-			e.notify(PointEvent{Kind: PointFinish, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds, Err: e.err})
-		}
+	ev := PointEvent{Kind: kind, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds}
+	switch kind {
+	case PointFinish:
+		ev.Err = e.err
+	case PointRestored:
+		ev.Point = &e.point
 	}
+	s.safeNotify(e.notify, ev)
 	return &PointFuture{e}
 }
 
@@ -326,22 +454,30 @@ func (s *Scheduler) Close() {
 	s.mu.Unlock()
 }
 
-// SchedulerStats counts cache effectiveness: how much simulation the
-// memoized point cache avoided.
+// SchedulerStats counts cache effectiveness and pipeline health: how
+// much simulation the memoized point cache and the checkpoint avoided,
+// and how many points failed despite isolation and retries.
 type SchedulerStats struct {
-	Requests uint64 // Submit calls
-	Unique   uint64 // distinct points actually simulated
-	SeedRuns uint64 // individual seed-level sim.Run jobs executed
+	Requests    uint64 // Submit calls
+	Unique      uint64 // distinct points actually simulated
+	SeedRuns    uint64 // individual seed-level sim.Run jobs executed
+	Restored    uint64 // points served from the checkpoint file
+	Failed      uint64 // points that finished with an error
+	SeedRetries uint64 // retry attempts for retryable seed failures
 }
 
-// Cached returns how many requests were served from the cache.
-func (st SchedulerStats) Cached() uint64 { return st.Requests - st.Unique }
+// Cached returns how many requests were served from the in-process
+// cache (checkpoint restores are counted separately in Restored).
+func (st SchedulerStats) Cached() uint64 { return st.Requests - st.Unique - st.Restored }
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SchedulerStats{Requests: s.requests, Unique: s.unique, SeedRuns: s.seedRuns}
+	return SchedulerStats{
+		Requests: s.requests, Unique: s.unique, SeedRuns: s.seedRuns,
+		Restored: s.restored, Failed: s.failed, SeedRetries: s.retries,
+	}
 }
 
 var (

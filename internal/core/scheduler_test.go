@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestSchedulerDeterminism is the scheduler's regression contract: the
@@ -58,6 +59,9 @@ func TestSchedulerCacheDedup(t *testing.T) {
 	o2.Workers = 7
 	o2.PrefetcherKind = "stride"
 	o2.DecompressionCycles = 99 // ignored: DecompressionSet is false
+	o2.PointTimeout = time.Minute
+	o2.MaxRetries = 5
+	o2.RetryBackoff = time.Second
 	s.Submit("zeus", Base, o2).MustWait()
 	if got := s.Stats().Unique; got != 1 {
 		t.Fatalf("canonicalization missed: unique = %d", got)

@@ -1,0 +1,266 @@
+// Package faultinject provides deterministic fault injection for the
+// experiment scheduler: seeded rules that fire a panic, a stall, or a
+// transient (retryable) error on the Nth matching seed job. It exists
+// to prove the pipeline's fault tolerance — panic isolation, watchdog
+// deadlines, retry-with-backoff — under `go test -race` and behind the
+// test-only -faultinject flag of cmd/experiments.
+//
+// Determinism: an Injector is deterministic with respect to the
+// sequence of Hook invocations it sees. With concurrent workers the
+// global job order is not fixed, so rules meant to hit one specific job
+// should pin benchmark, label and seed (the per-job identity is
+// deterministic) rather than rely on nth counting across jobs.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind selects what a firing rule does to the seed job.
+type Kind int
+
+const (
+	// Panic panics in the job (exercises recover/PointError isolation).
+	Panic Kind = iota
+	// Stall sleeps for StallFor before letting the job proceed
+	// (exercises the watchdog deadline).
+	Stall
+	// Transient returns a retryable error (exercises retry-with-backoff
+	// and retry exhaustion).
+	Transient
+)
+
+// String names the kind as the spec grammar spells it.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Transient:
+		return "transient"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Rule describes one fault: which seed jobs it matches and what it does
+// to them. Empty Benchmark/Label match anything; note that Seed's zero
+// value matches only seed 0 — set Seed: AnySeed explicitly to match any
+// seed (Parse defaults to AnySeed).
+type Rule struct {
+	Kind      Kind
+	Benchmark string        // "" or "*" matches any benchmark
+	Label     string        // mechanism label; "" or "*" matches any
+	Seed      int           // AnySeed matches any seed
+	Nth       int           // fire starting at the Nth match (1-based; <1 means 1st)
+	Count     int           // firings before the rule burns out (<1 means 1; Forever = no limit)
+	StallFor  time.Duration // Stall only; 0 means DefaultStall
+}
+
+// AnySeed makes a rule match every seed.
+const AnySeed = -1
+
+// Forever makes a rule fire on every match from Nth on.
+const Forever = -1
+
+// DefaultStall is the stall duration when a rule leaves StallFor zero:
+// long enough that any sane watchdog deadline expires first.
+const DefaultStall = 30 * time.Second
+
+// ErrTransient classifies injected transient faults: errors.Is(err,
+// faultinject.ErrTransient) holds for every error Hook returns.
+var ErrTransient = errors.New("faultinject: transient fault")
+
+// transientErr is the retryable error Transient rules return.
+type transientErr struct {
+	bench, label string
+	seed         int
+}
+
+func (e *transientErr) Error() string {
+	return fmt.Sprintf("faultinject: transient fault (%s/%s seed %d)", e.bench, e.label, e.seed)
+}
+
+// Is matches ErrTransient so callers can classify without the type.
+func (e *transientErr) Is(target error) bool { return target == ErrTransient }
+
+// Retryable marks the fault as resolvable by retrying (the contract
+// internal/core's IsRetryable checks for).
+func (e *transientErr) Retryable() bool { return true }
+
+// ruleState tracks one rule's match and firing counters.
+type ruleState struct {
+	Rule
+	matched int
+	fired   int
+}
+
+func (r *ruleState) matches(bench, label string, seed int) bool {
+	if r.Benchmark != "" && r.Benchmark != "*" && r.Benchmark != bench {
+		return false
+	}
+	if r.Label != "" && r.Label != "*" && r.Label != label {
+		return false
+	}
+	if r.Seed != AnySeed && r.Seed != seed {
+		return false
+	}
+	return true
+}
+
+// Injector evaluates rules against seed jobs. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// New builds an injector. Rules keep their slice order: when several
+// fire on the same job, the first one acts.
+func New(rules ...Rule) *Injector {
+	in := &Injector{}
+	for _, r := range rules {
+		if r.Nth < 1 {
+			r.Nth = 1
+		}
+		if r.Count == 0 {
+			r.Count = 1
+		}
+		if r.Kind == Stall && r.StallFor <= 0 {
+			r.StallFor = DefaultStall
+		}
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Hook is the scheduler-facing fault hook (core.FaultHook shaped): it
+// counts every rule's matches and acts out the first rule due to fire —
+// panicking, stalling, or returning a transient error.
+func (in *Injector) Hook(bench, label string, seed int) error {
+	in.mu.Lock()
+	var act *ruleState
+	for _, r := range in.rules {
+		if !r.matches(bench, label, seed) {
+			continue
+		}
+		r.matched++
+		if act == nil && r.matched >= r.Nth && (r.Count == Forever || r.fired < r.Count) {
+			r.fired++
+			act = r
+		}
+	}
+	in.mu.Unlock()
+	if act == nil {
+		return nil
+	}
+	switch act.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic (%s/%s seed %d)", bench, label, seed))
+	case Stall:
+		time.Sleep(act.StallFor)
+		return nil
+	default:
+		return &transientErr{bench: bench, label: label, seed: seed}
+	}
+}
+
+// Fired reports, per rule in construction order, how many times it has
+// fired (test support).
+func (in *Injector) Fired() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]int, len(in.rules))
+	for i, r := range in.rules {
+		out[i] = r.fired
+	}
+	return out
+}
+
+// Parse builds an Injector from a compact rule spec, the grammar the
+// test-only -faultinject flag of cmd/experiments accepts. Rules are
+// separated by ';', fields within a rule by ',', each field key=value:
+//
+//	kind=panic|stall|transient   (required)
+//	bench=NAME                   (default any; "*" explicit any)
+//	label=LABEL                  (mechanism label, default any)
+//	seed=N                       (default any)
+//	nth=N                        (fire starting at the Nth match, default 1)
+//	count=N                      (firings before burn-out, default 1; -1 forever)
+//	stall=DURATION               (stall rules, default 30s)
+//
+// Example: "kind=panic,bench=zeus,label=base,seed=0;kind=transient,count=2"
+func Parse(spec string) (*Injector, error) {
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r := Rule{Seed: AnySeed}
+		haveKind := false
+		for _, field := range strings.Split(rs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: field %q is not key=value", field)
+			}
+			switch k {
+			case "kind":
+				switch v {
+				case "panic":
+					r.Kind = Panic
+				case "stall":
+					r.Kind = Stall
+				case "transient":
+					r.Kind = Transient
+				default:
+					return nil, fmt.Errorf("faultinject: unknown kind %q", v)
+				}
+				haveKind = true
+			case "bench":
+				r.Benchmark = v
+			case "label":
+				r.Label = v
+			case "seed":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad seed %q", v)
+				}
+				r.Seed = n
+			case "nth":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultinject: bad nth %q", v)
+				}
+				r.Nth = n
+			case "count":
+				n, err := strconv.Atoi(v)
+				if err != nil || n == 0 || n < Forever {
+					return nil, fmt.Errorf("faultinject: bad count %q", v)
+				}
+				r.Count = n
+			case "stall":
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("faultinject: bad stall %q", v)
+				}
+				r.StallFor = d
+			default:
+				return nil, fmt.Errorf("faultinject: unknown field %q", k)
+			}
+		}
+		if !haveKind {
+			return nil, fmt.Errorf("faultinject: rule %q is missing kind=", rs)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return New(rules...), nil
+}

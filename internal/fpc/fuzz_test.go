@@ -1,0 +1,60 @@
+package fpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives arbitrary 64-byte lines through the encoder and
+// back: every line must decode to its exact input, with a segment count
+// the size estimator agrees on.
+func FuzzRoundTrip(f *testing.F) {
+	zero := make([]byte, LineSize)
+	f.Add(zero)
+	ones := bytes.Repeat([]byte{0xFF}, LineSize)
+	f.Add(ones)
+	ramp := make([]byte, LineSize)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	f.Add(ramp)
+	// Small sign-extendable words, repeated bytes, and a halfword mix —
+	// one seed per pattern class.
+	f.Add(bytes.Repeat([]byte{0x00, 0x00, 0x00, 0x7F}, LineSize/4))
+	f.Add(bytes.Repeat([]byte{0xAB, 0xAB, 0xAB, 0xAB}, LineSize/4))
+	f.Add(bytes.Repeat([]byte{0xFF, 0xFE, 0x00, 0x01}, LineSize/4))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if len(line) != LineSize {
+			t.Skip()
+		}
+		enc, segs := AppendEncode(nil, line)
+		if segs < 1 || segs > MaxSegments {
+			t.Fatalf("segment count %d out of range [1, %d]", segs, MaxSegments)
+		}
+		if want := CompressedSizeSegments(line); segs != want {
+			t.Fatalf("AppendEncode segs %d != CompressedSizeSegments %d", segs, want)
+		}
+		dec := make([]byte, LineSize)
+		if err := DecodeInto(dec, enc, segs); err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", line, dec)
+		}
+	})
+}
+
+// FuzzDecode feeds arbitrary (not encoder-produced) bitstreams to the
+// decoder: it may reject them, but must never panic or over-read.
+func FuzzDecode(f *testing.F) {
+	enc, segs := Encode(make([]byte, LineSize))
+	f.Add(enc, segs)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xFF}, MaxSegments)
+
+	f.Fuzz(func(t *testing.T, enc []byte, segs int) {
+		dst := make([]byte, LineSize)
+		_ = DecodeInto(dst, enc, segs)
+	})
+}

@@ -27,6 +27,7 @@ func CompressionCSV(w io.Writer, rows []core.CompressionRow) error {
 	if err := cw.Write([]string{
 		"benchmark", "ratio", "base_miss_per_ki", "compr_miss_per_ki",
 		"miss_reduction_pct", "speedup_cache_pct", "speedup_link_pct", "speedup_both_pct",
+		"failed",
 	}); err != nil {
 		return err
 	}
@@ -35,6 +36,7 @@ func CompressionCSV(w io.Writer, rows []core.CompressionRow) error {
 			r.Benchmark,
 			f(r.Ratio), f(r.BaseMissPerKI), f(r.ComprMissPerKI),
 			f(r.MissReductionPct), f(r.SpeedupCachePct), f(r.SpeedupLinkPct), f(r.SpeedupBothPct),
+			r.Failed,
 		}); err != nil {
 			return err
 		}
@@ -49,6 +51,7 @@ func InteractionCSV(w io.Writer, rows []core.InteractionRow) error {
 	if err := cw.Write([]string{
 		"benchmark", "pref_pct", "compr_pct", "both_pct", "adaptive_both_pct",
 		"interaction_pct", "bw_pref_growth_pct", "bw_prefcompr_growth_pct",
+		"failed",
 	}); err != nil {
 		return err
 	}
@@ -57,6 +60,7 @@ func InteractionCSV(w io.Writer, rows []core.InteractionRow) error {
 			r.Benchmark, f(r.PrefPct), f(r.ComprPct), f(r.BothPct),
 			f(r.AdaptiveBothPct), f(r.InteractionPct),
 			f(r.BWBasePrefGrowthPct), f(r.BWComprPrefGrowthPct),
+			r.Failed,
 		}); err != nil {
 			return err
 		}
@@ -70,14 +74,14 @@ func CoreSweepCSV(w io.Writer, rows []core.CoreSweepRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"benchmark", "cores", "pref_pct", "adaptive_pct", "compr_pct",
-		"both_pct", "adaptive_both_pct",
+		"both_pct", "adaptive_both_pct", "failed",
 	}); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		if err := cw.Write([]string{
 			r.Benchmark, strconv.Itoa(r.Cores), f(r.PrefPct), f(r.AdaptivePct),
-			f(r.ComprPct), f(r.BothPct), f(r.AdBothPct),
+			f(r.ComprPct), f(r.BothPct), f(r.AdBothPct), r.Failed,
 		}); err != nil {
 			return err
 		}
@@ -90,10 +94,16 @@ func CoreSweepCSV(w io.Writer, rows []core.CoreSweepRow) error {
 // benchmark × bandwidth).
 func BandwidthSweepCSV(w io.Writer, rows []core.BandwidthSweepRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"benchmark", "bandwidth_gbps", "interaction_pct"}); err != nil {
+	if err := cw.Write([]string{"benchmark", "bandwidth_gbps", "interaction_pct", "failed"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
+		if r.Failed != "" {
+			if err := cw.Write([]string{r.Benchmark, "", "", r.Failed}); err != nil {
+				return err
+			}
+			continue
+		}
 		var bws []int
 		for gb := range r.InteractionPct {
 			bws = append(bws, gb)
@@ -101,7 +111,7 @@ func BandwidthSweepCSV(w io.Writer, rows []core.BandwidthSweepRow) error {
 		sort.Ints(bws)
 		for _, gb := range bws {
 			if err := cw.Write([]string{
-				r.Benchmark, strconv.Itoa(gb), f(r.InteractionPct[gb]),
+				r.Benchmark, strconv.Itoa(gb), f(r.InteractionPct[gb]), "",
 			}); err != nil {
 				return err
 			}

@@ -10,11 +10,20 @@ import (
 	"cmpsim/internal/core"
 )
 
+// failedCell renders a failed row's explicit marker. Studies degrade
+// gracefully: a failed point produces a FAILED(reason) cell, never a
+// silently-zero row.
+func failedCell(reason string) string { return fmt.Sprintf("FAILED(%s)", reason) }
+
 // Table3 prints the compression-ratio table.
 func Table3(w io.Writer, rows []core.CompressionRow) {
 	fmt.Fprintln(w, "Table 3: Cache compression ratios (effective size / 4 MB)")
 	fmt.Fprintf(w, "  %-8s %8s %14s\n", "bench", "ratio", "effective MB")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %8.2f %14.2f\n", r.Benchmark, r.Ratio, r.Ratio*4)
 	}
 }
@@ -24,6 +33,10 @@ func Fig3(w io.Writer, rows []core.CompressionRow) {
 	fmt.Fprintln(w, "Figure 3: L2 miss-rate reduction from cache compression (%)")
 	fmt.Fprintf(w, "  %-8s %12s %12s %10s\n", "bench", "base /KI", "compr /KI", "reduction")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %12.2f %12.2f %9.1f%%\n",
 			r.Benchmark, r.BaseMissPerKI, r.ComprMissPerKI, r.MissReductionPct)
 	}
@@ -34,6 +47,10 @@ func Fig4(w io.Writer, rows []core.BandwidthRow) {
 	fmt.Fprintln(w, "Figure 4: Pin bandwidth demand (GB/s), infinite pins")
 	fmt.Fprintf(w, "  %-8s %8s %8s %8s %8s\n", "bench", "none", "cache", "link", "both")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %8.2f %8.2f %8.2f %8.2f\n",
 			r.Benchmark, r.None, r.CacheOnly, r.LinkOnly, r.Both)
 	}
@@ -44,6 +61,10 @@ func Fig5(w io.Writer, rows []core.CompressionRow) {
 	fmt.Fprintln(w, "Figure 5: Compression speedup (%) relative to base")
 	fmt.Fprintf(w, "  %-8s %10s %10s %10s\n", "bench", "cache", "link", "both")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %+9.1f%% %+9.1f%% %+9.1f%%\n",
 			r.Benchmark, r.SpeedupCachePct, r.SpeedupLinkPct, r.SpeedupBothPct)
 	}
@@ -55,6 +76,10 @@ func Table4(w io.Writer, rows []core.PrefetchPropsRow) {
 	fmt.Fprintf(w, "  %-8s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s\n",
 		"bench", "I-rate", "I-cov", "I-acc", "D-rate", "D-cov", "D-acc", "2-rate", "2-cov", "2-acc")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s | %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s | %6.2f %6.1f %6.1f | %6.2f %6.1f %6.1f | %6.2f %6.1f %6.1f\n",
 			r.Benchmark,
 			r.L1I.RatePer1000, r.L1I.CoveragePct, r.L1I.AccuracyPct,
@@ -68,6 +93,10 @@ func Fig6(w io.Writer, rows []core.PrefetchSpeedupRow) {
 	fmt.Fprintln(w, "Figure 6: Prefetching speedup (%) relative to no prefetching")
 	fmt.Fprintf(w, "  %-8s %10s %12s\n", "bench", "stride", "adaptive")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %+9.1f%% %+11.1f%%\n", r.Benchmark, r.SpeedupPct, r.AdaptiveSpeedupPct)
 	}
 }
@@ -77,6 +106,10 @@ func Fig7(w io.Writer, rows []core.InteractionRow) {
 	fmt.Fprintln(w, "Figure 7: Bandwidth demand growth over base (%), infinite pins")
 	fmt.Fprintf(w, "  %-8s %12s %14s\n", "bench", "pf alone", "pf+compression")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %+11.1f%% %+13.1f%%\n",
 			r.Benchmark, r.BWBasePrefGrowthPct, r.BWComprPrefGrowthPct)
 	}
@@ -88,6 +121,10 @@ func Fig8(w io.Writer, rows []core.MissClassRow) {
 	fmt.Fprintf(w, "  %-8s %9s %9s %9s %8s %9s %9s\n",
 		"bench", "unavoid", "only-C", "only-P", "either", "pf-kept", "pf-avoid")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %8.1f%% %8.1f%% %8.1f%% %7.1f%% %8.1f%% %8.1f%%\n",
 			r.Benchmark, r.NotAvoidedPct, r.OnlyComprPct, r.OnlyPrefPct,
 			r.EitherPct, r.PrefFetchPct, r.PrefAvoidedPct)
@@ -100,6 +137,10 @@ func Table5(w io.Writer, rows []core.InteractionRow) {
 	fmt.Fprintf(w, "  %-8s %8s %8s %8s %10s %12s\n",
 		"bench", "pref", "compr", "both", "ad+compr", "interaction")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %+7.1f%% %+7.1f%% %+7.1f%% %+9.1f%% %+11.1f%%\n",
 			r.Benchmark, r.PrefPct, r.ComprPct, r.BothPct, r.AdaptiveBothPct, r.InteractionPct)
 	}
@@ -110,6 +151,10 @@ func Fig10(w io.Writer, rows []core.AdaptiveRow) {
 	fmt.Fprintln(w, "Figure 10: Prefetching vs adaptive prefetching speedup (%)")
 	fmt.Fprintf(w, "  %-8s %8s %10s %10s %12s\n", "bench", "pf", "adaptive", "pf+compr", "adapt+compr")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s %+7.1f%% %+9.1f%% %+9.1f%% %+11.1f%%\n",
 			r.Benchmark, r.PrefPct, r.AdaptivePct, r.PrefComprPct, r.AdaptiveComprPct)
 	}
@@ -121,9 +166,17 @@ func Fig11(w io.Writer, rows []core.BandwidthSweepRow) {
 	if len(rows) == 0 {
 		return
 	}
+	// Derive the bandwidth header from the first row that has data — a
+	// failed first row carries no InteractionPct map.
 	var bws []int
-	for gb := range rows[0].InteractionPct {
-		bws = append(bws, gb)
+	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
+		for gb := range r.InteractionPct {
+			bws = append(bws, gb)
+		}
+		break
 	}
 	sort.Ints(bws)
 	fmt.Fprintf(w, "  %-8s", "bench")
@@ -132,6 +185,10 @@ func Fig11(w io.Writer, rows []core.BandwidthSweepRow) {
 	}
 	fmt.Fprintln(w)
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-8s %s\n", r.Benchmark, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %-8s", r.Benchmark)
 		for _, gb := range bws {
 			fmt.Fprintf(w, " %+8.1f%%", r.InteractionPct[gb])
@@ -145,6 +202,10 @@ func CoreSweep(w io.Writer, title string, rows []core.CoreSweepRow) {
 	fmt.Fprintf(w, "%s: improvement (%%) over same-core-count base\n", title)
 	fmt.Fprintf(w, "  %5s %9s %10s %9s %9s %10s\n", "cores", "pf", "adaptive", "compr", "pf+compr", "ad+compr")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %5d %s\n", r.Cores, failedCell(r.Failed))
+			continue
+		}
 		fmt.Fprintf(w, "  %5d %+8.1f%% %+9.1f%% %+8.1f%% %+8.1f%% %+9.1f%%\n",
 			r.Cores, r.PrefPct, r.AdaptivePct, r.ComprPct, r.BothPct, r.AdBothPct)
 	}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -69,6 +70,74 @@ func TestTableAndFigureFormatting(t *testing.T) {
 	i80 := strings.Index(out, "80GB")
 	if i10 == -1 || i80 == -1 || i10 > i80 {
 		t.Error("Fig11 columns not in ascending bandwidth order")
+	}
+}
+
+func TestFailedRowsRenderExplicitly(t *testing.T) {
+	var buf bytes.Buffer
+	reason := "panic: injected (seed 0)"
+
+	comprRows := []core.CompressionRow{
+		{Benchmark: "zeus", Failed: reason},
+		{Benchmark: "mgrid", Ratio: 1.2},
+	}
+	Table3(&buf, comprRows)
+	Fig3(&buf, comprRows)
+	Fig5(&buf, comprRows)
+	Fig4(&buf, []core.BandwidthRow{{Benchmark: "zeus", Failed: reason}})
+	Table4(&buf, []core.PrefetchPropsRow{{Benchmark: "zeus", Failed: reason}})
+	Fig6(&buf, []core.PrefetchSpeedupRow{{Benchmark: "zeus", Failed: reason}})
+	inter := []core.InteractionRow{{Benchmark: "zeus", Failed: reason}}
+	Fig7(&buf, inter)
+	Table5(&buf, inter)
+	Fig8(&buf, []core.MissClassRow{{Benchmark: "zeus", Failed: reason}})
+	Fig10(&buf, []core.AdaptiveRow{{Benchmark: "zeus", Failed: reason}})
+	// A failed first row must not hide the bandwidth header columns.
+	Fig11(&buf, []core.BandwidthSweepRow{
+		{Benchmark: "zeus", Failed: reason},
+		{Benchmark: "mgrid", InteractionPct: map[int]float64{10: 2, 20: 1}},
+	})
+	CoreSweep(&buf, "Figure 1 (zeus)", []core.CoreSweepRow{{Benchmark: "zeus", Cores: 8, Failed: reason}})
+
+	out := buf.String()
+	if got := strings.Count(out, "FAILED("+reason+")"); got != 12 {
+		t.Errorf("FAILED cell count = %d, want 12\n%s", got, out)
+	}
+	if !strings.Contains(out, "10GB") || !strings.Contains(out, "20GB") {
+		t.Error("Fig11 header not derived from first non-failed row")
+	}
+	if !strings.Contains(out, "1.20") {
+		t.Error("healthy row missing alongside failed row")
+	}
+}
+
+func TestFailedRowsInCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CompressionCSV(&buf, []core.CompressionRow{{Benchmark: "zeus", Failed: "timeout (seed 1)"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := recs[0][len(recs[0])-1]; h != "failed" {
+		t.Fatalf("last header column = %q, want failed", h)
+	}
+	if c := recs[1][len(recs[1])-1]; c != "timeout (seed 1)" {
+		t.Fatalf("failed cell = %q", c)
+	}
+
+	buf.Reset()
+	if err := BandwidthSweepCSV(&buf, []core.BandwidthSweepRow{{Benchmark: "zeus", Failed: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][3] != "x" {
+		t.Fatalf("bandwidth sweep failed row: %v", recs)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/report"
 	"cmpsim/internal/sim"
@@ -44,6 +45,7 @@ func main() {
 		l2depth  = flag.Int("l2depth", 0, "override L2 startup prefetch depth (0 = paper default 25)")
 		timeline = flag.String("timeline", "", "export the interval timeline to PREFIX.jsonl and PREFIX.csv")
 		interval = flag.Uint64("interval", 0, "telemetry interval in aggregate instructions (0 = auto: 1/50 of the window when -timeline is set)")
+		check    = flag.String("check", "", "runtime self-checking: off, invariants or shadow (default: the CMPSIM_CHECK environment variable)")
 		verbose  = flag.Bool("v", false, "print the full metric breakdown")
 	)
 	flag.Parse()
@@ -75,6 +77,10 @@ func main() {
 	if *l1depth < 0 || *l2depth < 0 {
 		log.Fatal("-l1depth and -l2depth must be >= 0")
 	}
+	checkLevel, err := audit.ParseLevel(*check)
+	if err != nil {
+		log.Fatalf("-check: %v", err)
+	}
 
 	cfg := sim.NewConfig(*bench)
 	cfg.Cores = *cores
@@ -93,6 +99,9 @@ func main() {
 	}
 	cfg.Memory.LinkBytesPerCycle = *bwGBps / cfg.ClockGHz
 	cfg.TelemetryInterval = *interval
+	if *check != "" {
+		cfg.CheckLevel = checkLevel // explicit flag overrides CMPSIM_CHECK
+	}
 	if *timeline != "" && cfg.TelemetryInterval == 0 {
 		cfg.TelemetryInterval = cfg.MeasureInstr * uint64(cfg.Cores) / 50
 		if cfg.TelemetryInterval == 0 {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/core"
 	"cmpsim/internal/faultinject"
 	"cmpsim/internal/report"
@@ -54,6 +55,7 @@ func run() int {
 		retries    = flag.Int("retries", 0, "retry attempts for retryable point failures")
 		backoff    = flag.Duration("retry-backoff", 0, "first retry delay, doubled per attempt")
 		faults     = flag.String("faultinject", "", "TEST ONLY: deterministic fault rules, e.g. 'kind=panic,bench=zeus,seed=0'")
+		check      = flag.String("check", "", "runtime self-checking per seed run: off, invariants or shadow (default: the CMPSIM_CHECK environment variable)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -84,6 +86,10 @@ func run() int {
 		log.Printf("-retries %d must be >= 0", *retries)
 		return 1
 	}
+	if _, err := audit.ParseLevel(*check); err != nil {
+		log.Printf("-check: %v", err)
+		return 1
+	}
 
 	o := core.DefaultOptions()
 	if *quick {
@@ -96,6 +102,7 @@ func run() int {
 	o.PointTimeout = *pointTO
 	o.MaxRetries = *retries
 	o.RetryBackoff = *backoff
+	o.CheckLevel = *check
 	o.TelemetryInterval = *interval
 	if *timeline != "" && o.TelemetryInterval == 0 {
 		o.TelemetryInterval = o.Measure * uint64(o.Cores) / 50
@@ -168,6 +175,7 @@ func run() int {
 			return 1
 		}
 		sched.SetFaultHook(in.Hook)
+		sched.SetStateFaultHook(in.StateFault)
 		fmt.Fprintln(os.Stderr, "[faultinject active: results are intentionally degraded]")
 	}
 	if *checkpoint != "" {

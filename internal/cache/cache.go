@@ -336,6 +336,38 @@ func (c *SetAssoc) ForEachValid(fn func(*Line)) {
 	}
 }
 
+// CheckInvariants validates internal consistency (audit support): no
+// duplicate valid tags, correct set mapping, uncompressed lines stored
+// at full size, invalid lines fully reset, victim-tag FIFOs within
+// bounds. It returns a description of the first violation, or "".
+func (c *SetAssoc) CheckInvariants() string {
+	for si, set := range c.sets {
+		seen := map[BlockAddr]bool{}
+		for i := range set {
+			ln := &set[i]
+			if !ln.Valid {
+				if ln.Segs != 0 || ln.Dirty || ln.Prefetch || ln.Sharers != 0 || ln.ISharers != 0 {
+					return fmt.Sprintf("set %d way %d: invalid line not reset (segs %d dirty %v pf %v)",
+						si, i, ln.Segs, ln.Dirty, ln.Prefetch)
+				}
+				continue
+			}
+			if ln.Segs != MaxSegs {
+				return fmt.Sprintf("set %d: line %#x stored in %d segments (uncompressed cache)",
+					si, uint64(ln.Addr), ln.Segs)
+			}
+			if seen[ln.Addr] {
+				return fmt.Sprintf("set %d: duplicate tag %#x", si, uint64(ln.Addr))
+			}
+			seen[ln.Addr] = true
+			if c.setIndex(ln.Addr) != si {
+				return fmt.Sprintf("set %d: line %#x maps to set %d", si, uint64(ln.Addr), c.setIndex(ln.Addr))
+			}
+		}
+	}
+	return ""
+}
+
 // checkPow2 panics unless v is a power of two.
 func checkPow2(v int, what string) {
 	if v <= 0 || bits.OnesCount(uint(v)) != 1 {

@@ -379,15 +379,20 @@ func (c *Compressed) ForEachValid(fn func(*Line)) {
 	}
 }
 
-// CheckInvariants validates internal consistency (test support): no
-// duplicate valid tags in a set, segment budget respected, valid lines
-// have legal sizes. It returns a descriptive error string, or "".
+// CheckInvariants validates internal consistency (test and audit
+// support): no duplicate valid tags in a set, segment budget respected,
+// valid lines have legal sizes, invalid tags own no segments. It
+// returns a descriptive error string, or "".
 func (c *Compressed) CheckInvariants() string {
 	for si, set := range c.sets {
 		used := 0
 		seen := map[BlockAddr]bool{}
 		for i := range set {
 			if !set[i].Valid {
+				if set[i].Segs != 0 || set[i].Dirty || set[i].Prefetch {
+					return fmt.Sprintf("set %d tag %d: invalid tag not reset (segs %d dirty %v pf %v)",
+						si, i, set[i].Segs, set[i].Dirty, set[i].Prefetch)
+				}
 				continue
 			}
 			if set[i].Segs < 1 || set[i].Segs > MaxSegs {
@@ -407,4 +412,30 @@ func (c *Compressed) CheckInvariants() string {
 		}
 	}
 	return ""
+}
+
+// InjectDuplicateTag deliberately corrupts the cache for fault-injection
+// tests: it revives an invalid tag with the address of a valid line in
+// the same set, creating the double-owned state CheckInvariants must
+// catch. It reports whether a suitable set was found.
+func (c *Compressed) InjectDuplicateTag() bool {
+	for _, set := range c.sets {
+		vi, ii := -1, -1
+		for i := range set {
+			if set[i].Valid && vi == -1 {
+				vi = i
+			}
+			if !set[i].Valid && ii == -1 {
+				ii = i
+			}
+		}
+		if vi == -1 || ii == -1 {
+			continue
+		}
+		set[ii].Valid = true
+		set[ii].Addr = set[vi].Addr
+		set[ii].Segs = 1
+		return true
+	}
+	return false
 }

@@ -31,11 +31,18 @@ type L2 interface {
 	BaseStats() *Stats
 	// ValidLines counts resident lines; EffectiveBytes is that × 64.
 	ValidLines() int
+	// ForEachValid visits every resident line; fn must not mutate the
+	// cache.
+	ForEachValid(fn func(*Line))
 	// CompressedHitCount returns hits that paid the decompression
 	// penalty (always 0 for an uncompressed L2).
 	CompressedHitCount() uint64
 	// StoresCompressed reports whether this L2 stores compressed lines.
 	StoresCompressed() bool
+	// CheckInvariants returns a description of the first structural
+	// inconsistency (duplicate tags, segment accounting, reset state),
+	// or "" when the cache is sound (audit support).
+	CheckInvariants() string
 }
 
 // UncompressedL2 adapts SetAssoc to the L2 interface.

@@ -150,6 +150,11 @@ type Hierarchy struct {
 	vbuf []cache.Line      // scratch victim buffer
 	wbuf []cache.BlockAddr // scratch writeback buffer
 
+	// OnL2Size, when non-nil, observes every L2 fill and resize with the
+	// stored segment count (audit support: the shadow checker records
+	// and verifies sizes at the only sites allowed to change them).
+	OnL2Size func(a cache.BlockAddr, segs uint8)
+
 	// Protocol event counters.
 	StoreUpgrades  uint64
 	DirtyForwards  uint64
@@ -260,6 +265,7 @@ func (h *Hierarchy) Access(core int, kind Kind, a cache.BlockAddr) AccessResult 
 		}
 		h.vbuf = h.vbuf[:0]
 		victims, inserted := h.L2.Fill(a, segs, false, h.vbuf)
+		h.noteL2Size(a, segs)
 		h.handleL2Victims(victims, &r)
 		l2ln = inserted
 	}
@@ -365,8 +371,10 @@ func (h *Hierarchy) fillL1(l1 *cache.SetAssoc, core int, kind Kind, a cache.Bloc
 			}
 			if h.L2.StoresCompressed() {
 				// Recompress: the stored size tracks current contents.
+				segs := h.clampSegs(h.size(victim.Addr))
 				h.vbuf = h.vbuf[:0]
-				victims, _ := h.L2.Resize(victim.Addr, h.clampSegs(h.size(victim.Addr)), h.vbuf)
+				victims, _ := h.L2.Resize(victim.Addr, segs, h.vbuf)
+				h.noteL2Size(victim.Addr, segs)
 				h.handleL2Victims(victims, r)
 			}
 		}
@@ -452,6 +460,7 @@ func (h *Hierarchy) PrefetchL1(core int, kind Kind, a cache.BlockAddr, by PfSour
 		h.vbuf = h.vbuf[:0]
 		victims, inserted := h.L2.Fill(a, segs, true, h.vbuf)
 		inserted.PfBy = uint8(by)
+		h.noteL2Size(a, segs)
 		h.handleL2Victims(victims, &r)
 		l2ln = inserted
 	}
@@ -483,11 +492,102 @@ func (h *Hierarchy) PrefetchL2(core int, a cache.BlockAddr, by PfSource) Prefetc
 	h.vbuf = h.vbuf[:0]
 	victims, inserted := h.L2.Fill(a, segs, true, h.vbuf)
 	inserted.PfBy = uint8(by)
+	h.noteL2Size(a, segs)
 	h.handleL2Victims(victims, &r)
 	out.Writebacks = h.wbuf
 	out.L2UselessEvict = r.L2UselessEvict
 	out.Invalidations = r.Invalidations
 	return out
+}
+
+// noteL2Size reports an L2 fill/resize to the audit observer, if any.
+func (h *Hierarchy) noteL2Size(a cache.BlockAddr, segs uint8) {
+	if h.OnL2Size != nil {
+		h.OnL2Size(a, segs)
+	}
+}
+
+// AuditMSI verifies the full MSI directory state in both directions
+// (audit support): inclusion (every L1 line resident in L2 with its
+// sharer bit set), sharer bits pointing only at caches that hold the
+// line, bitmasks within the configured core count, and ownership (an
+// owning core exists, holds the line modified in its L1D, and no other
+// L1D copy is modified). It returns the first violation, or "".
+func (h *Hierarchy) AuditMSI() string {
+	if bad := h.CheckInclusion(); bad != "" {
+		return bad
+	}
+	if bad := h.CheckSharerBits(); bad != "" {
+		return bad
+	}
+	// L1I residency must likewise be covered by ISharers.
+	for c := 0; c < h.cfg.Cores; c++ {
+		var bad string
+		core := c
+		h.L1I[c].ForEachValid(func(ln *cache.Line) {
+			if bad != "" {
+				return
+			}
+			l2ln := h.L2.Lookup(ln.Addr)
+			if l2ln == nil || l2ln.ISharers&(1<<uint(core)) == 0 {
+				bad = fmt.Sprintf("L1I[%d] holds %#x without isharer bit", core, uint64(ln.Addr))
+			}
+		})
+		if bad != "" {
+			return bad
+		}
+	}
+	mask := uint32(1)<<uint(h.cfg.Cores) - 1
+	var bad string
+	h.L2.ForEachValid(func(ln *cache.Line) {
+		if bad != "" {
+			return
+		}
+		switch {
+		case ln.Sharers&^mask != 0:
+			bad = fmt.Sprintf("L2 line %#x has sharer bits %#x beyond %d cores", uint64(ln.Addr), ln.Sharers, h.cfg.Cores)
+		case ln.ISharers&^mask != 0:
+			bad = fmt.Sprintf("L2 line %#x has isharer bits %#x beyond %d cores", uint64(ln.Addr), ln.ISharers, h.cfg.Cores)
+		case ln.Owner < -1 || int(ln.Owner) >= h.cfg.Cores:
+			bad = fmt.Sprintf("L2 line %#x has owner %d beyond %d cores", uint64(ln.Addr), ln.Owner, h.cfg.Cores)
+		}
+		if bad != "" {
+			return
+		}
+		dirtyCopies := 0
+		for c := 0; c < h.cfg.Cores; c++ {
+			dBit := ln.Sharers&(1<<uint(c)) != 0
+			iBit := ln.ISharers&(1<<uint(c)) != 0
+			dln := h.L1D[c].Lookup(ln.Addr)
+			if dBit && dln == nil {
+				bad = fmt.Sprintf("L2 line %#x has sharer bit for core %d but L1D misses it", uint64(ln.Addr), c)
+				return
+			}
+			if iBit && h.L1I[c].Lookup(ln.Addr) == nil {
+				bad = fmt.Sprintf("L2 line %#x has isharer bit for core %d but L1I misses it", uint64(ln.Addr), c)
+				return
+			}
+			if dln != nil && dln.Dirty {
+				dirtyCopies++
+				if int(ln.Owner) != c {
+					bad = fmt.Sprintf("L1D[%d] holds %#x modified but L2 owner is %d", c, uint64(ln.Addr), ln.Owner)
+					return
+				}
+			}
+		}
+		if dirtyCopies > 1 {
+			bad = fmt.Sprintf("L2 line %#x has %d modified L1 copies", uint64(ln.Addr), dirtyCopies)
+			return
+		}
+		if ln.Owner >= 0 {
+			dln := h.L1D[ln.Owner].Lookup(ln.Addr)
+			if dln == nil || !dln.Dirty {
+				bad = fmt.Sprintf("L2 line %#x owned by core %d whose L1D copy is %s", uint64(ln.Addr), ln.Owner,
+					map[bool]string{true: "clean", false: "absent"}[dln != nil])
+			}
+		}
+	})
+	return bad
 }
 
 // CheckInclusion verifies that every valid L1 line is present in the L2

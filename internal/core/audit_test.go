@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cmpsim/internal/audit"
+	"cmpsim/internal/faultinject"
+)
+
+// TestInvariantFailureFlowsThroughPipeline injects a state corruption
+// via a faultinject Corrupt rule and verifies the auditor's violation
+// arrives as a structured ReasonInvariant point failure with an
+// attributable FAILED cell, while a sibling point stays clean.
+func TestInvariantFailureFlowsThroughPipeline(t *testing.T) {
+	o := tinyOptions()
+	o.CheckLevel = "invariants"
+	in := faultinject.New(faultinject.Rule{
+		Kind: faultinject.Corrupt, Benchmark: "zeus", Label: "compression",
+		Seed: faultinject.AnySeed, Fault: "corrupt-segs", After: 2000,
+		Count: faultinject.Forever,
+	})
+	s := NewScheduler(2)
+	defer s.Close()
+	s.SetStateFaultHook(in.StateFault)
+
+	fBad := s.Submit("zeus", Compression, o)
+	fOK := s.Submit("zeus", Base, o)
+
+	_, err := fBad.Wait()
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("corrupted point returned %v, want *PointError", err)
+	}
+	if pe.Reason != ReasonInvariant {
+		t.Fatalf("Reason = %q, want %q (%+v)", pe.Reason, ReasonInvariant, pe)
+	}
+	var v *audit.Violation
+	if !errors.As(pe.Err, &v) || v.Invariant != "l2-set-state" {
+		t.Fatalf("underlying cause %v, want an l2-set-state *audit.Violation", pe.Err)
+	}
+	if cell := pe.Cell(); !strings.HasPrefix(cell, "invariant:l2-set-state") {
+		t.Fatalf("Cell() = %q, want invariant:l2-set-state prefix", cell)
+	}
+
+	if _, err := fOK.Wait(); err != nil {
+		t.Fatalf("sibling point failed: %v", err)
+	}
+	if st := s.Stats(); st.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (stats %+v)", st.Failed, st)
+	}
+}
+
+// TestCheckLevelCanonicalizedOutOfCacheKey verifies the audit level
+// shares one cache entry across submissions (the audit never changes
+// results) and that points run at shadow level match unchecked ones.
+func TestCheckLevelCanonicalizedOutOfCacheKey(t *testing.T) {
+	o := tinyOptions()
+	s := NewScheduler(2)
+	defer s.Close()
+
+	oShadow := o
+	oShadow.CheckLevel = "shadow"
+	pShadow, err := s.Submit("zeus", Base, oShadow).Wait()
+	if err != nil {
+		t.Fatalf("shadow run failed: %v", err)
+	}
+	oOff := o
+	oOff.CheckLevel = "off"
+	if _, err := s.Submit("zeus", Base, oOff).Wait(); err != nil {
+		t.Fatalf("off run failed: %v", err)
+	}
+	if st := s.Stats(); st.Unique != 1 || st.Cached() != 1 {
+		t.Fatalf("stats %+v: want 1 unique point and 1 cached request", st)
+	}
+
+	// Bit-identical contract across schedulers and levels.
+	s2 := NewScheduler(2)
+	defer s2.Close()
+	pOff, err := s2.Submit("zeus", Base, oOff).Wait()
+	if err != nil {
+		t.Fatalf("unchecked reference run failed: %v", err)
+	}
+	if !reflect.DeepEqual(pShadow.Runs, pOff.Runs) {
+		t.Fatal("shadow-audited point differs from unchecked point")
+	}
+}
+
+// TestInvalidCheckLevelFailsFastWithoutPoisoningCache verifies an
+// unparseable CheckLevel resolves immediately with an error and that a
+// later valid submission of the same point still simulates.
+func TestInvalidCheckLevelFailsFastWithoutPoisoningCache(t *testing.T) {
+	o := tinyOptions()
+	o.CheckLevel = "bogus"
+	s := NewScheduler(1)
+	defer s.Close()
+	if _, err := s.Submit("zeus", Base, o).Wait(); err == nil {
+		t.Fatal("bogus CheckLevel did not fail")
+	}
+	o.CheckLevel = "off"
+	if _, err := s.Submit("zeus", Base, o).Wait(); err != nil {
+		t.Fatalf("valid resubmission hit the poisoned entry: %v", err)
+	}
+}

@@ -89,6 +89,13 @@ type Options struct {
 	MaxRetries   int
 	RetryBackoff time.Duration
 
+	// CheckLevel forces the runtime audit tier for every seed run: "off",
+	// "invariants" or "shadow" (see internal/audit). "" keeps the
+	// environment default (CMPSIM_CHECK). The audit is read-only — any
+	// level produces bit-identical metrics — so the field is canonicalized
+	// out of the point-cache key like the scheduling knobs above.
+	CheckLevel string
+
 	Warmup        uint64  // instructions per core
 	Measure       uint64  // instructions per core
 	BandwidthGBps float64 // pin bandwidth; 0 = infinite (demand metric)

@@ -274,7 +274,7 @@ type InteractionRow struct {
 	InteractionPct       float64 // EQ 5
 	BWBasePrefGrowthPct  float64 // Figure 7: demand growth of pf alone
 	BWComprPrefGrowthPct float64 // Figure 7: demand growth of pf+compr
-	Failed               string `json:",omitempty"`
+	Failed               string  `json:",omitempty"`
 }
 
 // InteractionStudy regenerates Table 5, Figure 9 and the Figure 7 demand

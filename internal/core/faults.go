@@ -19,14 +19,16 @@ import (
 	"runtime/debug"
 	"time"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/sim"
 )
 
 // Failure reasons carried by PointError.
 const (
-	ReasonPanic   = "panic"   // the seed job panicked (isolated by recover)
-	ReasonTimeout = "timeout" // the watchdog abandoned a runaway simulation
-	ReasonError   = "error"   // the simulation (or fault hook) returned an error
+	ReasonPanic     = "panic"     // the seed job panicked (isolated by recover)
+	ReasonTimeout   = "timeout"   // the watchdog abandoned a runaway simulation
+	ReasonError     = "error"     // the simulation (or fault hook) returned an error
+	ReasonInvariant = "invariant" // the runtime auditor detected state corruption
 )
 
 // ErrPointTimeout marks a seed job abandoned by the per-point watchdog
@@ -62,6 +64,10 @@ func (e *PointError) Cell() string {
 	if e.Reason == ReasonTimeout {
 		return fmt.Sprintf("timeout (seed %d)", e.Seed)
 	}
+	var v *audit.Violation
+	if errors.As(e.Err, &v) {
+		return fmt.Sprintf("invariant:%s (seed %d)", v.Invariant, e.Seed)
+	}
 	return fmt.Sprintf("%v (seed %d)", e.Err, e.Seed)
 }
 
@@ -89,12 +95,15 @@ func (e *pointEntry) newPointError(seed, attempts int, err error) *PointError {
 		Seed: seed, Attempts: attempts, Reason: ReasonError, Err: err,
 	}
 	var p *panicError
+	var v *audit.Violation
 	switch {
 	case errors.As(err, &p):
 		pe.Reason = ReasonPanic
 		pe.Stack = p.stack
 	case errors.Is(err, ErrPointTimeout):
 		pe.Reason = ReasonTimeout
+	case errors.As(err, &v):
+		pe.Reason = ReasonInvariant
 	}
 	return pe
 }
@@ -104,6 +113,12 @@ func (e *pointEntry) newPointError(seed, attempts int, err error) *PointError {
 // failures. Any failure comes back as a *PointError.
 func (e *pointEntry) simulateSeed(s *Scheduler, seed int) (sim.Metrics, error) {
 	cfg := e.opts.config(e.bench, e.mech, int64(seed)+1)
+	if e.checkSet {
+		cfg.CheckLevel = e.checkLevel
+	}
+	if e.stateFault != nil {
+		cfg.StateFault = e.stateFault(e.bench, e.mech.Label(), seed)
+	}
 	for attempt := 0; ; attempt++ {
 		met, err := e.attemptOnce(cfg, seed)
 		if err == nil {

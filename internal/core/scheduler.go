@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
@@ -87,6 +88,13 @@ type Observer func(PointEvent)
 // three. A nil hook is a no-op.
 type FaultHook func(bench, label string, seed int) error
 
+// StateFaultHook is consulted before every seed simulation to pick a
+// state-corruption injection for that run: it returns a sim.Config
+// StateFault spec ("name@step") or "" for none. It exists for
+// internal/faultinject's corruption rules, which prove the runtime
+// auditor's checker classes fire. A nil hook injects nothing.
+type StateFaultHook func(bench, label string, seed int) string
+
 // pointKey identifies one unique data point in the scheduler cache.
 type pointKey struct {
 	bench string
@@ -104,6 +112,7 @@ func canonicalOpts(o Options) Options {
 	o.PointTimeout = 0
 	o.MaxRetries = 0
 	o.RetryBackoff = 0
+	o.CheckLevel = ""
 	if o.PrefetcherKind == "stride" {
 		o.PrefetcherKind = ""
 	}
@@ -125,10 +134,13 @@ type pointEntry struct {
 
 	// Robustness settings captured from the submitting Options (they are
 	// canonicalized out of the cache key but still govern execution).
-	timeout   time.Duration
-	retries   int
-	backoff   time.Duration
-	faultHook FaultHook
+	timeout    time.Duration
+	retries    int
+	backoff    time.Duration
+	faultHook  FaultHook
+	stateFault StateFaultHook
+	checkLevel audit.Level
+	checkSet   bool // Options.CheckLevel was non-empty (overrides the env)
 
 	mu      sync.Mutex
 	runs    []sim.Metrics
@@ -224,6 +236,7 @@ type Scheduler struct {
 	cache      map[pointKey]*pointEntry
 	observer   Observer
 	faultHook  FaultHook
+	stateFault StateFaultHook
 	checkpoint *Checkpoint
 
 	requests uint64
@@ -253,6 +266,16 @@ func (s *Scheduler) SetObserver(fn Observer) {
 func (s *Scheduler) SetFaultHook(fn FaultHook) {
 	s.mu.Lock()
 	s.faultHook = fn
+	s.mu.Unlock()
+}
+
+// SetStateFaultHook installs (or, with nil, removes) the state-fault
+// injection hook consulted before every seed simulation. Points
+// submitted before the call keep the hook they were submitted with.
+// This is test plumbing for internal/faultinject's corruption rules.
+func (s *Scheduler) SetStateFaultHook(fn StateFaultHook) {
+	s.mu.Lock()
+	s.stateFault = fn
 	s.mu.Unlock()
 }
 
@@ -392,18 +415,29 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 		s.safeNotify(obs, PointEvent{Kind: PointCached, Benchmark: bench, Mechanisms: m, Options: key.opts, Seeds: o.Seeds})
 		return &PointFuture{e}
 	}
+	lvl, lerr := audit.ParseLevel(o.CheckLevel)
 	e := &pointEntry{
 		bench: bench, mech: m, opts: key.opts,
 		started: time.Now(), notify: s.observer, done: make(chan struct{}),
 		timeout: o.PointTimeout, retries: o.MaxRetries, backoff: o.RetryBackoff,
-		faultHook: s.faultHook,
+		faultHook: s.faultHook, stateFault: s.stateFault,
+		checkLevel: lvl, checkSet: o.CheckLevel != "",
 	}
-	s.cache[key] = e
+	if lerr == nil {
+		// An invalid CheckLevel must not poison the cache: the field is
+		// canonicalized out of the key, so a valid resubmission would
+		// otherwise hit this failed entry.
+		s.cache[key] = e
+	}
 	_, werr := workload.ByName(bench)
 	kind := PointFinish
 	switch {
 	case o.Seeds < 1:
 		e.err = fmt.Errorf("core: Seeds must be at least 1")
+		s.failed++
+		close(e.done)
+	case lerr != nil:
+		e.err = lerr
 		s.failed++
 		close(e.done)
 	case werr != nil:

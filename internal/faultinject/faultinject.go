@@ -33,6 +33,12 @@ const (
 	// Transient returns a retryable error (exercises retry-with-backoff
 	// and retry exhaustion).
 	Transient
+	// Corrupt injects a state corruption into the simulation itself
+	// (sim.Config.StateFault) instead of acting in the hook: the run
+	// proceeds until the configured step, flips the named piece of
+	// simulator state, and the runtime auditor — at a sufficient
+	// CheckLevel — must catch it (exercises the invariant pipeline).
+	Corrupt
 )
 
 // String names the kind as the spec grammar spells it.
@@ -44,6 +50,8 @@ func (k Kind) String() string {
 		return "stall"
 	case Transient:
 		return "transient"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -61,6 +69,12 @@ type Rule struct {
 	Nth       int           // fire starting at the Nth match (1-based; <1 means 1st)
 	Count     int           // firings before the rule burns out (<1 means 1; Forever = no limit)
 	StallFor  time.Duration // Stall only; 0 means DefaultStall
+
+	// Corrupt only: which state corruption to inject (a sim state-fault
+	// name, e.g. "flip-sharer"; sim.Config validation rejects unknown
+	// names) and the simulation step to inject it at (0 = DefaultAfter).
+	Fault string
+	After uint64
 }
 
 // AnySeed makes a rule match every seed.
@@ -72,6 +86,11 @@ const Forever = -1
 // DefaultStall is the stall duration when a rule leaves StallFor zero:
 // long enough that any sane watchdog deadline expires first.
 const DefaultStall = 30 * time.Second
+
+// DefaultAfter is the injection step for Corrupt rules that leave After
+// zero: late enough that caches, stream tables and the in-flight table
+// hold real state worth corrupting.
+const DefaultAfter uint64 = 10_000
 
 // ErrTransient classifies injected transient faults: errors.Is(err,
 // faultinject.ErrTransient) holds for every error Hook returns.
@@ -134,6 +153,9 @@ func New(rules ...Rule) *Injector {
 		if r.Kind == Stall && r.StallFor <= 0 {
 			r.StallFor = DefaultStall
 		}
+		if r.Kind == Corrupt && r.After == 0 {
+			r.After = DefaultAfter
+		}
 		in.rules = append(in.rules, &ruleState{Rule: r})
 	}
 	return in
@@ -146,7 +168,8 @@ func (in *Injector) Hook(bench, label string, seed int) error {
 	in.mu.Lock()
 	var act *ruleState
 	for _, r := range in.rules {
-		if !r.matches(bench, label, seed) {
+		if r.Kind == Corrupt || !r.matches(bench, label, seed) {
+			// Corrupt rules act through StateFault, not the fault hook.
 			continue
 		}
 		r.matched++
@@ -170,6 +193,30 @@ func (in *Injector) Hook(bench, label string, seed int) error {
 	}
 }
 
+// StateFault is the scheduler-facing state-corruption hook
+// (core.StateFaultHook shaped): it counts Corrupt rules' matches and
+// returns the "fault@step" spec of the first one due to fire, or "" when
+// no corruption applies to this seed job.
+func (in *Injector) StateFault(bench, label string, seed int) string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var act *ruleState
+	for _, r := range in.rules {
+		if r.Kind != Corrupt || !r.matches(bench, label, seed) {
+			continue
+		}
+		r.matched++
+		if act == nil && r.matched >= r.Nth && (r.Count == Forever || r.fired < r.Count) {
+			r.fired++
+			act = r
+		}
+	}
+	if act == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s@%d", act.Fault, act.After)
+}
+
 // Fired reports, per rule in construction order, how many times it has
 // fired (test support).
 func (in *Injector) Fired() []int {
@@ -186,15 +233,17 @@ func (in *Injector) Fired() []int {
 // test-only -faultinject flag of cmd/experiments accepts. Rules are
 // separated by ';', fields within a rule by ',', each field key=value:
 //
-//	kind=panic|stall|transient   (required)
+//	kind=panic|stall|transient|corrupt   (required)
 //	bench=NAME                   (default any; "*" explicit any)
 //	label=LABEL                  (mechanism label, default any)
 //	seed=N                       (default any)
 //	nth=N                        (fire starting at the Nth match, default 1)
 //	count=N                      (firings before burn-out, default 1; -1 forever)
 //	stall=DURATION               (stall rules, default 30s)
+//	fault=NAME                   (corrupt rules, required: a sim state-fault name)
+//	after=N                      (corrupt rules: injection step, default 10000)
 //
-// Example: "kind=panic,bench=zeus,label=base,seed=0;kind=transient,count=2"
+// Example: "kind=panic,bench=zeus,label=base,seed=0;kind=corrupt,fault=flip-sharer"
 func Parse(spec string) (*Injector, error) {
 	var rules []Rule
 	for _, rs := range strings.Split(spec, ";") {
@@ -218,6 +267,8 @@ func Parse(spec string) (*Injector, error) {
 					r.Kind = Stall
 				case "transient":
 					r.Kind = Transient
+				case "corrupt":
+					r.Kind = Corrupt
 				default:
 					return nil, fmt.Errorf("faultinject: unknown kind %q", v)
 				}
@@ -250,12 +301,29 @@ func Parse(spec string) (*Injector, error) {
 					return nil, fmt.Errorf("faultinject: bad stall %q", v)
 				}
 				r.StallFor = d
+			case "fault":
+				if v == "" {
+					return nil, fmt.Errorf("faultinject: empty fault name")
+				}
+				r.Fault = v
+			case "after":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("faultinject: bad after %q", v)
+				}
+				r.After = n
 			default:
 				return nil, fmt.Errorf("faultinject: unknown field %q", k)
 			}
 		}
 		if !haveKind {
 			return nil, fmt.Errorf("faultinject: rule %q is missing kind=", rs)
+		}
+		if r.Kind == Corrupt && r.Fault == "" {
+			return nil, fmt.Errorf("faultinject: corrupt rule %q is missing fault=", rs)
+		}
+		if r.Kind != Corrupt && (r.Fault != "" || r.After != 0) {
+			return nil, fmt.Errorf("faultinject: fault=/after= only apply to kind=corrupt in %q", rs)
 		}
 		rules = append(rules, r)
 	}

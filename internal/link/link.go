@@ -142,6 +142,25 @@ func (c *Channel) Utilization(elapsedCycles float64) float64 {
 	return u
 }
 
+// CheckInvariants verifies flit conservation and reservation-state
+// sanity (audit support): every byte on the channel is accounted for by
+// exactly one header or payload flit (TotalBytes = Messages×HeaderBytes
+// + PayloadFlits×FlitBytes), and the busy/queueing accumulators are
+// finite, non-negative and ordered. It returns the first violation, or "".
+func (c *Channel) CheckInvariants() string {
+	if want := c.Messages*HeaderBytes + c.PayloadFlits*FlitBytes; c.TotalBytes != want {
+		return fmt.Sprintf("flit conservation: %d bytes on the wire but %d messages + %d payload flits account for %d",
+			c.TotalBytes, c.Messages, c.PayloadFlits, want)
+	}
+	if !(c.BusyCycles >= 0) || !(c.QueueDelay >= 0) {
+		return fmt.Sprintf("negative or NaN accumulators (busy %f, queue %f)", c.BusyCycles, c.QueueDelay)
+	}
+	if c.busyDemand > c.busyAll {
+		return fmt.Sprintf("demand busy-until %f ahead of overall busy-until %f", c.busyDemand, c.busyAll)
+	}
+	return ""
+}
+
 // DemandGBps converts the observed byte count to the paper's bandwidth
 // demand metric in GB/s, given the elapsed cycles and the clock in GHz.
 func (c *Channel) DemandGBps(elapsedCycles, clockGHz float64) float64 {

@@ -168,6 +168,34 @@ func (m *System) Writeback(now float64, addr cache.BlockAddr, segs uint8) float6
 	return start + m.cfg.BankOccupancy
 }
 
+// CheckInvariants verifies flit conservation across the memory system
+// (audit support): both channels internally conserve bytes, every data
+// payload flit belongs to exactly one fetch or writeback, requests ride
+// the address channel header-only, and one request message exists per
+// fetch. It returns the first violation, or "".
+func (m *System) CheckInvariants() string {
+	if bad := m.Addr.CheckInvariants(); bad != "" {
+		return "addr channel: " + bad
+	}
+	if bad := m.Data.CheckInvariants(); bad != "" {
+		return "data channel: " + bad
+	}
+	if want := m.FetchFlits + m.WriteFlits; m.Data.PayloadFlits != want {
+		return fmt.Sprintf("flit conservation: data channel carried %d payload flits but fetches (%d) + writebacks (%d) account for %d",
+			m.Data.PayloadFlits, m.FetchFlits, m.WriteFlits, want)
+	}
+	if m.Addr.PayloadFlits != 0 {
+		return fmt.Sprintf("address channel carried %d payload flits (requests are header-only)", m.Addr.PayloadFlits)
+	}
+	if m.Addr.Messages != m.Fetches {
+		return fmt.Sprintf("%d request messages for %d fetches", m.Addr.Messages, m.Fetches)
+	}
+	if m.Data.Messages != m.Fetches+m.Writebacks {
+		return fmt.Sprintf("%d data messages for %d fetches + %d writebacks", m.Data.Messages, m.Fetches, m.Writebacks)
+	}
+	return ""
+}
+
 // UncontendedFetchLatency returns the no-queueing round-trip latency of
 // a fetch with the given compressed size: the lower bound the timing
 // model approaches when bandwidth is plentiful.

@@ -352,6 +352,67 @@ func sign(v int64) int64 {
 	return 1
 }
 
+// CheckInvariants validates stream- and filter-table state (audit
+// support): active streams have a non-zero stride within the configured
+// bound with their prefetch pointer a whole number of strides from the
+// demand pointer, and filter entries keep strides and counts in range.
+// It returns the first violation, or "".
+func (e *Engine) CheckInvariants() string {
+	for i := range e.streams {
+		s := &e.streams[i]
+		if !s.valid {
+			continue
+		}
+		switch {
+		case s.stride == 0:
+			return fmt.Sprintf("stream %d: zero stride", i)
+		case s.stride > int64(e.cfg.MaxStride) || s.stride < -int64(e.cfg.MaxStride):
+			return fmt.Sprintf("stream %d: stride %d exceeds bound %d", i, s.stride, e.cfg.MaxStride)
+		case (int64(s.nextPf)-int64(s.nextDemand))%s.stride != 0:
+			return fmt.Sprintf("stream %d: prefetch pointer %#x not stride-aligned with demand pointer %#x (stride %d)",
+				i, uint64(s.nextPf), uint64(s.nextDemand), s.stride)
+		}
+	}
+	for _, tb := range [][]filterEntry{e.pos, e.neg, e.nonunit} {
+		for i := range tb {
+			f := &tb[i]
+			if !f.valid {
+				continue
+			}
+			if f.stride > int64(e.cfg.MaxStride) || f.stride < -int64(e.cfg.MaxStride) {
+				return fmt.Sprintf("filter %d: stride %d exceeds bound %d", i, f.stride, e.cfg.MaxStride)
+			}
+			if f.count < 1 || f.count > e.cfg.TrainThreshold {
+				return fmt.Sprintf("filter %d: count %d outside [1, %d]", i, f.count, e.cfg.TrainThreshold)
+			}
+		}
+	}
+	return ""
+}
+
+// CheckInvariants for the sequential baseline: a live tagged window
+// must be well-ordered.
+func (s *Sequential) CheckInvariants() string {
+	if s.windowValid && s.windowEnd < s.windowStart {
+		return fmt.Sprintf("window [%#x, %#x] inverted", uint64(s.windowStart), uint64(s.windowEnd))
+	}
+	return ""
+}
+
+// CorruptStream deliberately corrupts stream-table state for
+// fault-injection tests: the first valid stream's stride is zeroed (or,
+// with no active stream, a zero-stride entry is fabricated), a state
+// CheckInvariants must catch.
+func (e *Engine) CorruptStream() {
+	for i := range e.streams {
+		if e.streams[i].valid {
+			e.streams[i].stride = 0
+			return
+		}
+	}
+	e.streams[0] = streamEntry{valid: true, stride: 0}
+}
+
 // Adaptive is the paper's saturating counter: one per cache. It starts
 // saturated at Max (normal prefetching) and is stepped by the three
 // event kinds. Cap() is the allowed startup-prefetch count; zero

@@ -21,6 +21,9 @@ type Prefetcher interface {
 	StreamStride() int64
 	// Allocations reports stream/window allocations for statistics.
 	Allocations() uint64
+	// CheckInvariants returns a description of the first internal-state
+	// inconsistency, or "" when sound (audit support).
+	CheckInvariants() string
 }
 
 var (

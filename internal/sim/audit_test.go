@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cmpsim/internal/audit"
+)
+
+// auditTestConfig is a small compressed+prefetching system: every fault
+// class has live state to corrupt (compressed L2 sets, streams, MSHR
+// entries, link traffic).
+func auditTestConfig() Config {
+	cfg := NewConfig("zeus")
+	cfg.Cores = 4
+	cfg.WarmupInstr = 40_000
+	cfg.MeasureInstr = 20_000
+	cfg.CacheCompression = true
+	cfg.LinkCompression = true
+	cfg.Prefetching = true
+	cfg.CheckLevel = audit.Off // tests pick the level explicitly
+	cfg.CheckInterval = 1024
+	return cfg
+}
+
+// TestStateFaultMatrix proves every injected corruption class is caught
+// at its required check level with the right invariant name — and NOT
+// caught at insufficient levels, where the run must still complete.
+func TestStateFaultMatrix(t *testing.T) {
+	t.Parallel()
+	wantInvariant := map[string]string{
+		"flip-sharer":    "msi",
+		"double-owner":   "msi",
+		"corrupt-segs":   "l2-set-state",
+		"dup-tag":        "l2-set-state",
+		"corrupt-stream": "stream-bounds",
+		"drop-flit":      "flit-conservation",
+		"leak-mshr":      "mshr-inflight",
+		"corrupt-value":  "shadow-value",
+		"corrupt-size":   "shadow-fpc",
+	}
+	names := StateFaultNames()
+	if len(names) != len(wantInvariant) {
+		t.Fatalf("StateFaultNames() = %v, want the %d catalogued faults", names, len(wantInvariant))
+	}
+	for _, name := range names {
+		if _, ok := wantInvariant[name]; !ok {
+			t.Fatalf("fault %q has no expected invariant in the test table", name)
+		}
+	}
+	for _, name := range names {
+		for _, level := range []audit.Level{audit.Off, audit.Invariants, audit.Shadow} {
+			name, level := name, level
+			t.Run(name+"/"+level.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := auditTestConfig()
+				cfg.CheckLevel = level
+				cfg.StateFault = name + "@2000"
+				_, err := Run(cfg)
+				caught := level >= StateFaultLevel(name)
+				if !caught {
+					if err != nil {
+						t.Fatalf("fault %s at level %s: want clean completion, got %v", name, level, err)
+					}
+					return
+				}
+				var v *audit.Violation
+				if !errors.As(err, &v) {
+					t.Fatalf("fault %s at level %s: want *audit.Violation, got %v", name, level, err)
+				}
+				if v.Invariant != wantInvariant[name] {
+					t.Fatalf("fault %s at level %s: violated %q, want %q (%v)",
+						name, level, v.Invariant, wantInvariant[name], v)
+				}
+			})
+		}
+	}
+}
+
+// TestShadowBitIdentical is the audit determinism contract: a full run
+// at shadow level must complete with zero violations and bit-identical
+// metrics to the same run unchecked.
+func TestShadowBitIdentical(t *testing.T) {
+	t.Parallel()
+	run := func(level audit.Level) Metrics {
+		cfg := auditTestConfig()
+		cfg.CheckLevel = level
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("level %s: %v", level, err)
+		}
+		return m
+	}
+	off := run(audit.Off)
+	shadow := run(audit.Shadow)
+	if !reflect.DeepEqual(off, shadow) {
+		t.Fatalf("metrics differ between check levels:\noff:    %+v\nshadow: %+v", off, shadow)
+	}
+}
+
+// TestShadowBitIdenticalUncompressed covers the uncompressed-L2 shadow
+// path (size model disabled, value model and writeback checks active).
+func TestShadowBitIdenticalUncompressed(t *testing.T) {
+	t.Parallel()
+	run := func(level audit.Level) Metrics {
+		cfg := auditTestConfig()
+		cfg.CacheCompression = false
+		cfg.LinkCompression = false
+		cfg.CheckLevel = level
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("level %s: %v", level, err)
+		}
+		return m
+	}
+	if off, shadow := run(audit.Off), run(audit.Shadow); !reflect.DeepEqual(off, shadow) {
+		t.Fatalf("metrics differ between check levels:\noff:    %+v\nshadow: %+v", off, shadow)
+	}
+}
+
+// TestStateFaultValidation covers the Config.Validate surface for
+// StateFault and CheckLevel.
+func TestStateFaultValidation(t *testing.T) {
+	t.Parallel()
+	cfg := auditTestConfig()
+	for _, bad := range []string{"flip-sharer", "flip-sharer@", "flip-sharer@0", "@5", "nonsense@100", "flip-sharer@x"} {
+		cfg.StateFault = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("StateFault %q: want validation error", bad)
+		}
+	}
+	cfg.StateFault = "flip-sharer@100"
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("StateFault flip-sharer@100: %v", err)
+	}
+	cfg.StateFault = ""
+	cfg.CheckLevel = audit.Level(99)
+	if err := cfg.Validate(); err == nil {
+		t.Error("CheckLevel 99: want validation error")
+	}
+}

@@ -22,6 +22,7 @@ package sim
 import (
 	"fmt"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/memory"
 	"cmpsim/internal/workload"
@@ -87,6 +88,21 @@ type Config struct {
 	// (all-core) instructions of the measurement window into
 	// Metrics.Timeline. 0 disables sampling (Timeline stays nil).
 	TelemetryInterval uint64
+
+	// CheckLevel selects the runtime audit tier (internal/audit): Off,
+	// Invariants (structural sweeps at event boundaries) or Shadow
+	// (plus a functional reference model cross-checking every load and
+	// compressed fill). NewConfig defaults it from CMPSIM_CHECK. The
+	// audit is read-only: any level leaves metrics bit-identical.
+	CheckLevel audit.Level
+	// CheckInterval is the number of simulation steps between structural
+	// audit sweeps (0 means the 65536 default). Sweeps also run at phase
+	// boundaries and at run end.
+	CheckInterval uint64
+	// StateFault injects one deterministic state corruption, spelled
+	// "name@step" (e.g. "flip-sharer@5000"); see StateFaultNames. Test
+	// support: proves each auditor class fires. "" disables.
+	StateFault string
 }
 
 // NewConfig returns the paper's baseline system (Table 1) for a
@@ -118,6 +134,8 @@ func NewConfig(benchmark string) Config {
 		Memory:   memory.DefaultConfig(),
 		CPU:      cpu.DefaultConfig(),
 		ClockGHz: 5.0,
+
+		CheckLevel: audit.FromEnv(),
 	}
 }
 
@@ -159,6 +177,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: AdaptivePrefetch requires Prefetching")
 	case c.PrefetcherKind != "" && c.PrefetcherKind != "stride" && c.PrefetcherKind != "sequential":
 		return fmt.Errorf("sim: unknown PrefetcherKind %q", c.PrefetcherKind)
+	case !c.CheckLevel.Valid():
+		return fmt.Errorf("sim: invalid CheckLevel %d", c.CheckLevel)
+	}
+	if c.StateFault != "" {
+		if _, _, err := parseStateFault(c.StateFault); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/cpu"
@@ -47,6 +48,12 @@ type System struct {
 	ref         workload.Ref
 
 	tel *telemetry // nil unless Config.TelemetryInterval > 0
+
+	// Runtime self-checking (see audit.go); aud is nil at CheckLevel Off.
+	aud        *audit.Auditor
+	checkEvery uint64
+	faultName  string // state-fault injection, "" = none
+	faultAt    uint64
 }
 
 // NewSystem builds a system for cfg; the workload's BaseCPI overrides
@@ -130,20 +137,34 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.CollectMissProfile {
 		s.missProfile = make(map[cache.BlockAddr]uint32)
 	}
+	s.initAudit(cfg)
 	return s, nil
 }
 
 // Run executes warmup then the measurement window and returns Metrics.
-func Run(cfg Config) (Metrics, error) {
+// An audit violation (CheckLevel > Off, or an injected StateFault that
+// a check catches) is returned as a *audit.Violation error; any other
+// panic propagates unchanged.
+func Run(cfg Config) (m Metrics, err error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok := r.(*audit.Violation)
+			if !ok {
+				panic(r)
+			}
+			m, err = Metrics{}, v
+		}
+	}()
 	return s.run(), nil
 }
 
 func (s *System) run() Metrics {
 	s.phase(s.cfg.WarmupInstr)
+	s.auditSweep() // warmup boundary
 	start := s.rawTotals()
 	startNow := make([]float64, len(s.cores))
 	for i, c := range s.cores {
@@ -158,6 +179,7 @@ func (s *System) run() Metrics {
 		c.Drain()
 	}
 	s.measuring = false
+	s.auditSweep() // run end
 	end := s.rawTotals()
 	d := end.sub(start)
 
@@ -264,6 +286,9 @@ func (s *System) phase(n uint64) {
 // step advances core c by one generated reference.
 func (s *System) step(c int) {
 	s.steps++
+	if s.aud != nil || s.faultAt != 0 {
+		s.auditStep()
+	}
 	if s.steps&0x1FFF == 0 {
 		s.sampleEffectiveSize()
 		if s.steps&0xFFFFF == 0 {
@@ -281,8 +306,14 @@ func (s *System) step(c int) {
 	kind := s.ref.Kind
 	addr := s.ref.Addr
 
+	if s.aud != nil {
+		s.aud.OnLoad(now, c, addr, s.data.Version(addr))
+	}
 	if kind == coherence.Store && s.dirtyRng.Float64() < s.prof.StoreDirtyProb {
 		s.data.Dirty(addr)
+		if s.aud != nil {
+			s.aud.OnStore(addr)
+		}
 	}
 
 	r := s.h.Access(c, kind, addr)
@@ -326,7 +357,7 @@ func (s *System) step(c int) {
 			done = partial
 		}
 		for _, wb := range r.Writebacks {
-			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+			s.auditWriteback(now, wb)
 		}
 		if r.MemFetch && s.measuring && s.missProfile != nil {
 			s.missProfile[addr]++
@@ -491,7 +522,7 @@ func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfS
 			done = st + lat
 		}
 		for _, wb := range out.Writebacks {
-			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+			s.auditWriteback(now, wb)
 		}
 		s.inflight[a] = done
 		for i := 0; i < out.L1UselessEvict; i++ {
@@ -515,7 +546,7 @@ func (s *System) issueL2Prefetches(c int, now float64, reqs []cache.BlockAddr) {
 		st := s.reserveBank(a, now)
 		done := s.mem.Fetch(st+s.cfg.L2HitCycles, a, out.FetchSegs)
 		for _, wb := range out.Writebacks {
-			s.mem.Writeback(now, wb, s.data.SizeOf(wb))
+			s.auditWriteback(now, wb)
 		}
 		s.inflight[a] = done
 		for i := 0; i < out.L2UselessEvict; i++ {

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -28,6 +29,34 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	s := Summarize([]float64{3.5})
 	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.CI95() != 0 {
 		t.Fatalf("single sample %+v", s)
+	}
+}
+
+// The auditor can fail all but one seed of a point (single surviving
+// seed) or every seed (empty value list). Neither degenerate sample may
+// produce NaN/Inf anywhere report rendering consumes it.
+func TestDegenerateSamplesRenderClean(t *testing.T) {
+	for name, s := range map[string]Sample{
+		"all-seeds-failed": Summarize(nil),
+		"single-survivor":  Summarize([]float64{1.25}),
+		"identical-values": Summarize([]float64{2, 2, 2}),
+	} {
+		for field, v := range map[string]float64{
+			"Mean": s.Mean, "StdDev": s.StdDev, "CI95": s.CI95(),
+			"Min": s.Min, "Max": s.Max,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %f", name, field, v)
+			}
+		}
+		if out := s.String(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("%s: String() = %q", name, out)
+		}
+	}
+	// A single survivor has no spread: the CI must be exactly zero (the
+	// t-table lookup for df=0 would panic if CI95 consulted it).
+	if ci := Summarize([]float64{1.25}).CI95(); ci != 0 {
+		t.Errorf("single-survivor CI = %f, want 0", ci)
 	}
 }
 

@@ -22,6 +22,10 @@ type DataModel struct {
 	versions map[cache.BlockAddr]uint32
 	sizes    map[cache.BlockAddr]uint8 // memoized size of current version
 
+	// poisonNext > 0 makes the next SizeOf calls memoize a deliberately
+	// wrong size (fault injection: exercises the shadow FPC checker).
+	poisonNext int
+
 	lineBuf [cache.LineBytes]byte
 }
 
@@ -122,6 +126,13 @@ func (d *DataModel) Line(a cache.BlockAddr) []byte {
 // SizeOf returns the block's current FPC-compressed size in segments,
 // memoized per version.
 func (d *DataModel) SizeOf(a cache.BlockAddr) uint8 {
+	if d.poisonNext > 0 {
+		d.poisonNext--
+		d.FillLine(a, d.lineBuf[:])
+		s := 9 - uint8(fpc.CompressedSizeSegments(d.lineBuf[:])) // legal but wrong
+		d.sizes[a] = s
+		return s
+	}
 	if s, ok := d.sizes[a]; ok {
 		return s
 	}
@@ -137,6 +148,26 @@ func (d *DataModel) Dirty(a cache.BlockAddr) {
 	d.versions[a]++
 	delete(d.sizes, a)
 }
+
+// Version returns the block's current content version: the number of
+// Dirty calls it has received (audit support: the shadow value model
+// cross-checks its own store count against this).
+func (d *DataModel) Version(a cache.BlockAddr) uint32 { return d.versions[a] }
+
+// ForEachVersion visits every block whose contents have ever been
+// dirtied, with its current version. Iteration order is unspecified;
+// fn must not mutate the model (audit sweep support).
+func (d *DataModel) ForEachVersion(fn func(cache.BlockAddr, uint32)) {
+	for a, v := range d.versions {
+		fn(a, v)
+	}
+}
+
+// PoisonNextSizes corrupts the size memo for the next n SizeOf calls:
+// each memoizes a legal (1..8) but wrong segment count. Fault-injection
+// support — proves the shadow FPC checker catches a size pipeline that
+// disagrees with block contents.
+func (d *DataModel) PoisonNextSizes(n int) { d.poisonNext = n }
 
 // MeanSegs estimates the expected compressed size over n sample blocks.
 func (d *DataModel) MeanSegs(n int) float64 {

@@ -35,6 +35,7 @@ import (
 
 	"cmpsim/internal/cache"
 	"cmpsim/internal/fpc"
+	"cmpsim/internal/timing"
 )
 
 // Level selects how much runtime checking a simulation performs.
@@ -102,18 +103,18 @@ func FromEnv() Level {
 // sim.Run's recover, then as a wrapped error through the PointError
 // plumbing of internal/core.
 type Violation struct {
-	Invariant string  // invariant name (see the DESIGN.md catalog)
-	Cycle     float64 // core-clock cycle of the failing check (max core Now)
-	Core      int     // issuing core, or -1 when not attributable
-	Set       int     // cache set, or -1 when not applicable
-	Addr      uint64  // block address, or 0 when not applicable
-	Detail    string  // state dump from the failing checker
+	Invariant string      // invariant name (see the DESIGN.md catalog)
+	Cycle     timing.Tick // core-clock tick of the failing check (max core Now)
+	Core      int         // issuing core, or -1 when not attributable
+	Set       int         // cache set, or -1 when not applicable
+	Addr      uint64      // block address, or 0 when not applicable
+	Detail    string      // state dump from the failing checker
 }
 
 // Error formats the full violation record.
 func (v *Violation) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "audit: invariant %s violated at cycle %.0f", v.Invariant, v.Cycle)
+	fmt.Fprintf(&b, "audit: invariant %s violated at cycle %v", v.Invariant, v.Cycle)
 	if v.Core >= 0 {
 		fmt.Fprintf(&b, " (core %d)", v.Core)
 	}
@@ -183,7 +184,7 @@ func (a *Auditor) Level() Level { return a.level }
 
 // Fail raises a violation: it panics with a *Violation that sim.Run
 // converts into an error return.
-func (a *Auditor) Fail(invariant string, cycle float64, core, set int, addr cache.BlockAddr, detail string) {
+func (a *Auditor) Fail(invariant string, cycle timing.Tick, core, set int, addr cache.BlockAddr, detail string) {
 	panic(&Violation{
 		Invariant: invariant, Cycle: cycle, Core: core, Set: set,
 		Addr: uint64(addr), Detail: detail,
@@ -193,7 +194,7 @@ func (a *Auditor) Fail(invariant string, cycle float64, core, set int, addr cach
 // Check raises a violation when a structural checker returned a
 // non-empty detail string (the convention of the per-package
 // CheckInvariants methods).
-func (a *Auditor) Check(invariant string, cycle float64, detail string) {
+func (a *Auditor) Check(invariant string, cycle timing.Tick, detail string) {
 	if detail != "" {
 		a.Fail(invariant, cycle, -1, -1, 0, detail)
 	}
@@ -214,7 +215,7 @@ func (a *Auditor) OnStore(addr cache.BlockAddr) {
 // store count the auditor observed. A mismatch means some path mutated
 // block contents outside the globally-ordered store stream — the value
 // a load returns would be wrong.
-func (a *Auditor) OnLoad(cycle float64, core int, addr cache.BlockAddr, dataVersion uint32) {
+func (a *Auditor) OnLoad(cycle timing.Tick, core int, addr cache.BlockAddr, dataVersion uint32) {
 	if a.level < Shadow {
 		return
 	}
@@ -230,7 +231,7 @@ func (a *Auditor) OnLoad(cycle float64, core int, addr cache.BlockAddr, dataVers
 // current contents: CompressedSizeSegments must equal storedSegs when
 // the L2 stores compressed lines (exposing a corrupted size memo), and
 // an encode/decode roundtrip must reproduce the line bit-exactly.
-func (a *Auditor) OnL2Data(cycle float64, addr cache.BlockAddr, storedSegs uint8, storesCompressed bool) {
+func (a *Auditor) OnL2Data(cycle timing.Tick, addr cache.BlockAddr, storedSegs uint8, storesCompressed bool) {
 	if a.level < Shadow {
 		return
 	}
@@ -254,7 +255,7 @@ func (a *Auditor) OnL2Data(cycle float64, addr cache.BlockAddr, storedSegs uint8
 // count the memory system was handed (sizeSegs, from the size memo)
 // must match the block's current contents, which must also survive an
 // FPC roundtrip.
-func (a *Auditor) OnWriteback(cycle float64, addr cache.BlockAddr, sizeSegs uint8) {
+func (a *Auditor) OnWriteback(cycle timing.Tick, addr cache.BlockAddr, sizeSegs uint8) {
 	if a.level < Shadow {
 		return
 	}
@@ -270,7 +271,7 @@ func (a *Auditor) OnWriteback(cycle float64, addr cache.BlockAddr, sizeSegs uint
 
 // roundTrip verifies encode(line) → decode == line for the contents in
 // lineBuf.
-func (a *Auditor) roundTrip(cycle float64, addr cache.BlockAddr, segs int) {
+func (a *Auditor) roundTrip(cycle timing.Tick, addr cache.BlockAddr, segs int) {
 	var err error
 	a.encBuf, _ = fpc.AppendEncode(a.encBuf[:0], a.lineBuf[:])
 	if err = fpc.DecodeInto(a.decBuf[:], a.encBuf, segs); err != nil {
@@ -292,7 +293,7 @@ func (a *Auditor) RecordedSize(addr cache.BlockAddr) (uint8, bool) {
 // model during a sweep: its stored segment count must still be what the
 // last fill/resize recorded (anything else means the tag state was
 // mutated outside the fill/resize protocol).
-func (a *Auditor) CheckL2Line(cycle float64, ln *cache.Line) {
+func (a *Auditor) CheckL2Line(cycle timing.Tick, ln *cache.Line) {
 	if a.level < Shadow {
 		return
 	}
@@ -305,7 +306,7 @@ func (a *Auditor) CheckL2Line(cycle float64, ln *cache.Line) {
 // CheckVersions sweeps the shadow value model against the data model's
 // version reader (fn iterates every (addr, version) pair the data model
 // holds). It reports the lowest mismatching address deterministically.
-func (a *Auditor) CheckVersions(cycle float64, forEach func(func(cache.BlockAddr, uint32))) {
+func (a *Auditor) CheckVersions(cycle timing.Tick, forEach func(func(cache.BlockAddr, uint32))) {
 	if a.level < Shadow {
 		return
 	}

@@ -7,6 +7,7 @@ import (
 
 	"cmpsim/internal/cache"
 	"cmpsim/internal/fpc"
+	"cmpsim/internal/timing"
 )
 
 func TestLevelStringValidEnabled(t *testing.T) {
@@ -62,7 +63,7 @@ func TestFromEnv(t *testing.T) {
 }
 
 func TestViolationError(t *testing.T) {
-	v := &Violation{Invariant: "msi", Cycle: 1234, Core: 2, Set: 7, Addr: 0xbeef, Detail: "two owners"}
+	v := &Violation{Invariant: "msi", Cycle: timing.FromIntCycles(1234), Core: 2, Set: 7, Addr: 0xbeef, Detail: "two owners"}
 	msg := v.Error()
 	for _, want := range []string{"msi", "1234", "core 2", "set 7", "0xbeef", "two owners"} {
 		if !strings.Contains(msg, want) {

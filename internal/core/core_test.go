@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestMechanismLabels(t *testing.T) {
 
 func TestPointMean(t *testing.T) {
 	p := Point{Runs: []sim.Metrics{{IPC: 1}, {IPC: 3}}}
-	if got := p.Mean(func(m *sim.Metrics) float64 { return m.IPC }); got != 2 {
+	if got := p.Mean(func(m *sim.Metrics) float64 { return m.IPC }); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("mean = %f", got)
 	}
 	var empty Point

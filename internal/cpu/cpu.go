@@ -14,14 +14,24 @@
 // parallelism differences between commercial workloads (low MLP, many
 // dependent loads) and scientific ones (high MLP, strided independent
 // loads) that drive the paper's contention results.
+//
+// All core time is integer: the clock, stall accounting and miss
+// completion times are timing.Tick values. BaseCPI converts to a
+// per-instruction tick cost once, at New (timing.FromCycles rounding
+// contract), so Advance is a pure integer multiply-add.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"cmpsim/internal/timing"
+)
 
 // Config parameterizes one core.
 type Config struct {
 	// BaseCPI is the cycles per instruction of the core when it never
 	// misses beyond the L1s (pipeline width, branch costs folded in).
+	// It is quantized to the tick grid once at New.
 	BaseCPI float64
 	// ROBWindow is the maximum instructions retired past the oldest
 	// outstanding miss before the core must wait (paper: 128-entry ROB).
@@ -36,9 +46,13 @@ func DefaultConfig() Config {
 	return Config{BaseCPI: 0.5, ROBWindow: 128, MSHRs: 16}
 }
 
-func (c Config) validate() error {
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
 	if c.BaseCPI <= 0 {
 		return fmt.Errorf("cpu: BaseCPI must be positive")
+	}
+	if timing.FromCycles(c.BaseCPI) <= 0 {
+		return fmt.Errorf("cpu: BaseCPI %g below the tick resolution", c.BaseCPI)
 	}
 	if c.ROBWindow < 1 || c.MSHRs < 1 {
 		return fmt.Errorf("cpu: ROBWindow and MSHRs must be at least 1")
@@ -48,37 +62,38 @@ func (c Config) validate() error {
 
 // miss is an outstanding memory request.
 type miss struct {
-	done    float64 // completion cycle
-	atInstr uint64  // retire count when issued
+	done    timing.Tick // completion tick
+	atInstr uint64      // retire count when issued
 }
 
 // Core is one processor's timing state.
 type Core struct {
 	cfg Config
+	cpi timing.Tick // per-instruction retire cost (BaseCPI on the tick grid)
 
-	// Now is the core's local clock in cycles.
-	Now float64
+	// Now is the core's local clock.
+	Now timing.Tick
 	// Instrs is the retired instruction count.
 	Instrs uint64
 
 	outstanding []miss // ordered by issue
 
-	// StallCycles accumulates cycles spent waiting on memory.
-	StallCycles float64
+	// StallTicks accumulates time spent waiting on memory.
+	StallTicks timing.Tick
 }
 
 // New builds a core; it panics on invalid configuration.
 func New(cfg Config) *Core {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{cfg: cfg}
+	return &Core{cfg: cfg, cpi: timing.FromCycles(cfg.BaseCPI)}
 }
 
 // Advance retires n instructions of non-memory work, respecting the
 // reorder-buffer bound on run-ahead past outstanding misses.
 func (c *Core) Advance(n uint64) {
-	c.Now += float64(n) * c.cfg.BaseCPI
+	c.Now += timing.Tick(n) * c.cpi
 	c.Instrs += n
 	c.retireCompleted()
 	c.enforceROB()
@@ -96,9 +111,9 @@ func (c *Core) retireCompleted() {
 }
 
 // waitFor advances the clock to t, accounting the stall.
-func (c *Core) waitFor(t float64) {
+func (c *Core) waitFor(t timing.Tick) {
 	if t > c.Now {
-		c.StallCycles += t - c.Now
+		c.StallTicks += t - c.Now
 		c.Now = t
 	}
 }
@@ -116,7 +131,7 @@ func (c *Core) oldest() int {
 // data returns. Otherwise the core continues, subject to the MSHR and
 // ROB-window limits. Callers obtain done from the memory-system timing
 // model using the core's current Now.
-func (c *Core) IssueMiss(done float64, blocking bool) {
+func (c *Core) IssueMiss(done timing.Tick, blocking bool) {
 	c.retireCompleted()
 	if blocking {
 		c.waitFor(done)
@@ -132,7 +147,7 @@ func (c *Core) IssueMiss(done float64, blocking bool) {
 }
 
 // earliestDone returns the soonest outstanding completion time.
-func (c *Core) earliestDone() float64 {
+func (c *Core) earliestDone() timing.Tick {
 	e := c.outstanding[0].done
 	for _, m := range c.outstanding[1:] {
 		if m.done < e {
@@ -175,5 +190,5 @@ func (c *Core) IPC() float64 {
 	if c.Now == 0 {
 		return 0
 	}
-	return float64(c.Instrs) / c.Now
+	return float64(c.Instrs) / c.Now.Cycles()
 }

@@ -4,13 +4,18 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"cmpsim/internal/timing"
 )
+
+// cy converts whole cycles to ticks for test readability.
+func cy(n int64) timing.Tick { return timing.FromIntCycles(n) }
 
 func TestAdvanceUsesBaseCPI(t *testing.T) {
 	c := New(Config{BaseCPI: 0.5, ROBWindow: 128, MSHRs: 16})
 	c.Advance(100)
-	if c.Now != 50 || c.Instrs != 100 {
-		t.Fatalf("now=%f instrs=%d", c.Now, c.Instrs)
+	if c.Now != cy(50) || c.Instrs != 100 {
+		t.Fatalf("now=%v instrs=%d", c.Now, c.Instrs)
 	}
 	if got := c.IPC(); math.Abs(got-2.0) > 1e-9 {
 		t.Fatalf("IPC = %f", got)
@@ -19,27 +24,27 @@ func TestAdvanceUsesBaseCPI(t *testing.T) {
 
 func TestBlockingMissStalls(t *testing.T) {
 	c := New(DefaultConfig())
-	c.Advance(10) // now = 5
-	c.IssueMiss(405, true)
-	if c.Now != 405 {
-		t.Fatalf("now = %f, want 405", c.Now)
+	c.Advance(10) // now = 5 cycles
+	c.IssueMiss(cy(405), true)
+	if c.Now != cy(405) {
+		t.Fatalf("now = %v, want 405cy", c.Now)
 	}
-	if c.StallCycles != 400 {
-		t.Fatalf("stall = %f", c.StallCycles)
+	if c.StallTicks != cy(400) {
+		t.Fatalf("stall = %v", c.StallTicks)
 	}
 }
 
 func TestNonBlockingMissOverlaps(t *testing.T) {
 	c := New(DefaultConfig())
-	c.IssueMiss(400, false)
+	c.IssueMiss(cy(400), false)
 	if c.Now != 0 || c.Outstanding() != 1 {
-		t.Fatalf("now=%f outstanding=%d", c.Now, c.Outstanding())
+		t.Fatalf("now=%v outstanding=%d", c.Now, c.Outstanding())
 	}
 	c.Advance(20) // 10 cycles; miss still pending
 	if c.Outstanding() != 1 {
 		t.Fatal("miss should still be outstanding")
 	}
-	c.Advance(1000) // now 510: miss completed
+	c.Advance(1000) // now 510 cycles: miss completed
 	if c.Outstanding() != 0 {
 		t.Fatal("miss should have retired")
 	}
@@ -47,12 +52,12 @@ func TestNonBlockingMissOverlaps(t *testing.T) {
 
 func TestMSHRLimitStalls(t *testing.T) {
 	c := New(Config{BaseCPI: 1, ROBWindow: 1 << 20, MSHRs: 2})
-	c.IssueMiss(100, false)
-	c.IssueMiss(200, false)
+	c.IssueMiss(cy(100), false)
+	c.IssueMiss(cy(200), false)
 	// Third miss must wait for the first to complete (cycle 100).
-	c.IssueMiss(300, false)
-	if c.Now != 100 {
-		t.Fatalf("now = %f, want 100", c.Now)
+	c.IssueMiss(cy(300), false)
+	if c.Now != cy(100) {
+		t.Fatalf("now = %v, want 100cy", c.Now)
 	}
 	if c.Outstanding() != 2 {
 		t.Fatalf("outstanding = %d", c.Outstanding())
@@ -61,34 +66,34 @@ func TestMSHRLimitStalls(t *testing.T) {
 
 func TestROBWindowBoundsRunAhead(t *testing.T) {
 	c := New(Config{BaseCPI: 1, ROBWindow: 64, MSHRs: 16})
-	c.IssueMiss(1000, false)
+	c.IssueMiss(cy(1000), false)
 	// Retire 64 instructions: the ROB fills and the core must wait for
 	// the miss at cycle 1000.
 	c.Advance(64)
-	if c.Now != 1000 {
-		t.Fatalf("now = %f, want 1000 (ROB stall)", c.Now)
+	if c.Now != cy(1000) {
+		t.Fatalf("now = %v, want 1000cy (ROB stall)", c.Now)
 	}
 }
 
 func TestROBReleasesAfterCompletion(t *testing.T) {
 	c := New(Config{BaseCPI: 1, ROBWindow: 64, MSHRs: 16})
-	c.IssueMiss(10, false)
+	c.IssueMiss(cy(10), false)
 	c.Advance(64) // now=64 > 10: miss already complete, no stall
-	if c.Now != 64 {
-		t.Fatalf("now = %f, want 64", c.Now)
+	if c.Now != cy(64) {
+		t.Fatalf("now = %v, want 64cy", c.Now)
 	}
-	if c.StallCycles != 0 {
-		t.Fatalf("stall = %f", c.StallCycles)
+	if c.StallTicks != 0 {
+		t.Fatalf("stall = %v", c.StallTicks)
 	}
 }
 
 func TestDrain(t *testing.T) {
 	c := New(DefaultConfig())
-	c.IssueMiss(500, false)
-	c.IssueMiss(300, false)
+	c.IssueMiss(cy(500), false)
+	c.IssueMiss(cy(300), false)
 	c.Drain()
-	if c.Now != 500 || c.Outstanding() != 0 {
-		t.Fatalf("after drain: now=%f outstanding=%d", c.Now, c.Outstanding())
+	if c.Now != cy(500) || c.Outstanding() != 0 {
+		t.Fatalf("after drain: now=%v outstanding=%d", c.Now, c.Outstanding())
 	}
 }
 
@@ -97,6 +102,8 @@ func TestConfigValidation(t *testing.T) {
 		{BaseCPI: 0, ROBWindow: 128, MSHRs: 16},
 		{BaseCPI: 1, ROBWindow: 0, MSHRs: 16},
 		{BaseCPI: 1, ROBWindow: 128, MSHRs: 0},
+		// Below the tick grid's resolution.
+		{BaseCPI: 1.0 / (4 * timing.TicksPerCycle), ROBWindow: 128, MSHRs: 16},
 	}
 	for i, cfg := range bad {
 		func() {
@@ -118,31 +125,31 @@ func TestHigherMLPFinishesSooner(t *testing.T) {
 	serial := New(Config{BaseCPI: 1, ROBWindow: 1 << 20, MSHRs: 16})
 	for i := 0; i < 8; i++ {
 		overlap.Advance(10)
-		overlap.IssueMiss(overlap.Now+400, false)
+		overlap.IssueMiss(overlap.Now+cy(400), false)
 		serial.Advance(10)
-		serial.IssueMiss(serial.Now+400, true)
+		serial.IssueMiss(serial.Now+cy(400), true)
 	}
 	overlap.Drain()
 	serial.Drain()
 	if overlap.Now >= serial.Now/3 {
-		t.Fatalf("overlap %f vs serial %f: expected much faster", overlap.Now, serial.Now)
+		t.Fatalf("overlap %v vs serial %v: expected much faster", overlap.Now, serial.Now)
 	}
 }
 
 // Property: the clock is monotone and stall accounting never exceeds
-// elapsed time.
+// elapsed time. Both facts are exact in the integer tick domain.
 func TestClockMonotoneProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
 		c := New(Config{BaseCPI: 0.7, ROBWindow: 32, MSHRs: 4})
-		prev := 0.0
+		var prev timing.Tick
 		for _, op := range ops {
 			switch op % 3 {
 			case 0:
 				c.Advance(uint64(op%16) + 1)
 			case 1:
-				c.IssueMiss(c.Now+float64(op%100), false)
+				c.IssueMiss(c.Now+cy(int64(op%100)), false)
 			case 2:
-				c.IssueMiss(c.Now+float64(op%100), true)
+				c.IssueMiss(c.Now+cy(int64(op%100)), true)
 			}
 			if c.Now < prev {
 				return false
@@ -150,7 +157,7 @@ func TestClockMonotoneProperty(t *testing.T) {
 			prev = c.Now
 		}
 		c.Drain()
-		return c.StallCycles <= c.Now+1e-9
+		return c.StallTicks <= c.Now
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

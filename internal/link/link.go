@@ -6,13 +6,18 @@
 // Every message pays a fixed-size header (which carries the length
 // field the paper describes).
 //
-// Timing uses busy-until reservation: a message arriving at time t
-// starts when the channel frees, occupies bytes/bandwidth cycles, and
-// delays everything behind it — the queueing contention that makes
-// prefetching expensive on a CMP.
+// Timing uses busy-until reservation through timing.Port: a message
+// arriving at tick t starts when the channel frees, occupies
+// bytes×costPerByte ticks, and delays everything behind it — the
+// queueing contention that makes prefetching expensive on a CMP. The
+// per-byte cost is quantized to the tick grid once, at NewChannel.
 package link
 
-import "fmt"
+import (
+	"fmt"
+
+	"cmpsim/internal/timing"
+)
 
 // HeaderBytes is the per-message header: command, address and the
 // length field for variable-length compressed messages.
@@ -27,18 +32,15 @@ const FlitBytes = 8
 // low-priority transfer (the residual service), while low-priority
 // messages (prefetches, writebacks) queue behind everything. This
 // models a memory controller that prioritizes demand responses over
-// prefetch traffic.
+// prefetch traffic. The scheduling itself lives in timing.Port; Channel
+// adds the message framing (header + flits) and traffic accounting.
 type Channel struct {
-	bytesPerCycle float64 // 0 = infinite bandwidth (measurement mode)
-	busyAll       float64 // server busy-until including low priority
-	busyDemand    float64 // busy-until from demand traffic only
+	port *timing.Port
 
 	// Stats.
 	Messages     uint64
 	TotalBytes   uint64
 	PayloadFlits uint64
-	BusyCycles   float64
-	QueueDelay   float64 // cumulative cycles messages waited for the channel
 }
 
 // NewChannel builds a link with the given bandwidth in bytes per core
@@ -46,33 +48,31 @@ type Channel struct {
 // infinite pin bandwidth, used for the paper's "bandwidth demand"
 // metric: bytes are counted but nothing ever queues.
 func NewChannel(bytesPerCycle float64) *Channel {
-	if bytesPerCycle < 0 {
-		panic(fmt.Sprintf("link: negative bandwidth %f", bytesPerCycle))
+	p, err := timing.NewPort(bytesPerCycle)
+	if err != nil {
+		panic(fmt.Sprintf("link: %v", err))
 	}
-	return &Channel{bytesPerCycle: bytesPerCycle}
+	return &Channel{port: p}
 }
 
 // Infinite reports whether the channel models unlimited bandwidth.
-func (c *Channel) Infinite() bool { return c.bytesPerCycle == 0 }
+func (c *Channel) Infinite() bool { return c.port.Infinite() }
 
-// Occupancy returns the cycles one message of the given payload size
+// Occupancy returns the ticks one message of the given payload size
 // occupies the channel (0 for an infinite channel).
-func (c *Channel) Occupancy(flits int) float64 {
-	if c.Infinite() {
-		return 0
-	}
-	return float64(HeaderBytes+flits*FlitBytes) / c.bytesPerCycle
+func (c *Channel) Occupancy(flits int) timing.Tick {
+	return c.port.Cost(HeaderBytes + flits*FlitBytes)
 }
 
 // Reserve claims a bandwidth slot for one message, no earlier than at.
-// It returns the slot's start cycle. Reservations are made in call
+// It returns the slot's start tick. Reservations are made in call
 // order — callers reserve when the transfer is *requested* (e.g. when a
 // fetch reaches the memory controller), not when its data is ready, so
 // an idle channel is never blocked by a far-future reservation. Demand
 // messages wait only for the demand backlog plus at most one residual
 // low-priority transfer (non-preemptive priority over prefetches and
 // writebacks).
-func (c *Channel) Reserve(at float64, flits int, demand bool) (slotStart float64) {
+func (c *Channel) Reserve(at timing.Tick, flits int, demand bool) (slotStart timing.Tick) {
 	if flits < 0 {
 		panic("link: negative flit count")
 	}
@@ -80,93 +80,59 @@ func (c *Channel) Reserve(at float64, flits int, demand bool) (slotStart float64
 	c.Messages++
 	c.TotalBytes += uint64(bytes)
 	c.PayloadFlits += uint64(flits)
-	if c.Infinite() {
-		return at
-	}
-	occupancy := float64(bytes) / c.bytesPerCycle
-	start := at
-	if demand {
-		if c.busyDemand > start {
-			start = c.busyDemand
-		}
-		if c.busyAll > start {
-			residual := at + occupancy
-			if c.busyAll < residual {
-				residual = c.busyAll
-			}
-			if residual > start {
-				start = residual
-			}
-		}
-	} else if c.busyAll > start {
-		start = c.busyAll
-	}
-	if start > at {
-		c.QueueDelay += start - at
-	}
-	done := start + occupancy
-	if demand {
-		c.busyDemand = done
-	}
-	if done > c.busyAll {
-		c.busyAll = done
-	}
-	c.BusyCycles += occupancy
-	return start
+	return c.port.Reserve(at, bytes, demand)
 }
 
 // Send reserves the channel for one demand message starting no earlier
-// than now and returns the cycle the message has fully crossed.
-func (c *Channel) Send(now float64, flits int) (done float64) {
+// than now and returns the tick the message has fully crossed.
+func (c *Channel) Send(now timing.Tick, flits int) (done timing.Tick) {
 	return c.Reserve(now, flits, true) + c.Occupancy(flits)
 }
 
 // SendLow is Send for low-priority messages (prefetches, writebacks).
-func (c *Channel) SendLow(now float64, flits int) (done float64) {
+func (c *Channel) SendLow(now timing.Tick, flits int) (done timing.Tick) {
 	return c.Reserve(now, flits, false) + c.Occupancy(flits)
 }
 
-// BusyUntil returns the cycle at which the channel next frees.
-func (c *Channel) BusyUntil() float64 { return c.busyAll }
+// BusyUntil returns the tick at which the channel next frees.
+func (c *Channel) BusyUntil() timing.Tick { return c.port.BusyUntil() }
 
-// Utilization returns the fraction of cycles the channel was busy over
-// an elapsed window (0 for an infinite channel).
-func (c *Channel) Utilization(elapsedCycles float64) float64 {
-	if elapsedCycles <= 0 || c.Infinite() {
-		return 0
-	}
-	u := c.BusyCycles / elapsedCycles
-	if u > 1 {
-		u = 1
-	}
-	return u
+// BusyTicks returns the cumulative channel occupancy.
+func (c *Channel) BusyTicks() timing.Tick { return c.port.BusyTicks() }
+
+// QueueDelay returns the cumulative ticks messages waited for the
+// channel.
+func (c *Channel) QueueDelay() timing.Tick { return c.port.WaitTicks() }
+
+// Utilization returns the fraction of an elapsed window the channel was
+// busy (0 for an infinite channel).
+func (c *Channel) Utilization(elapsed timing.Tick) float64 {
+	return c.port.Utilization(elapsed)
 }
 
 // CheckInvariants verifies flit conservation and reservation-state
 // sanity (audit support): every byte on the channel is accounted for by
 // exactly one header or payload flit (TotalBytes = Messages×HeaderBytes
-// + PayloadFlits×FlitBytes), and the busy/queueing accumulators are
-// finite, non-negative and ordered. It returns the first violation, or "".
+// + PayloadFlits×FlitBytes), the byte counts match the port's grant
+// count, and the port's busy/queueing state is ordered. It returns the
+// first violation, or "".
 func (c *Channel) CheckInvariants() string {
 	if want := c.Messages*HeaderBytes + c.PayloadFlits*FlitBytes; c.TotalBytes != want {
 		return fmt.Sprintf("flit conservation: %d bytes on the wire but %d messages + %d payload flits account for %d",
 			c.TotalBytes, c.Messages, c.PayloadFlits, want)
 	}
-	if !(c.BusyCycles >= 0) || !(c.QueueDelay >= 0) {
-		return fmt.Sprintf("negative or NaN accumulators (busy %f, queue %f)", c.BusyCycles, c.QueueDelay)
+	if c.port.Grants() != c.Messages {
+		return fmt.Sprintf("port granted %d slots for %d messages", c.port.Grants(), c.Messages)
 	}
-	if c.busyDemand > c.busyAll {
-		return fmt.Sprintf("demand busy-until %f ahead of overall busy-until %f", c.busyDemand, c.busyAll)
-	}
-	return ""
+	return c.port.CheckInvariants()
 }
 
 // DemandGBps converts the observed byte count to the paper's bandwidth
-// demand metric in GB/s, given the elapsed cycles and the clock in GHz.
-func (c *Channel) DemandGBps(elapsedCycles, clockGHz float64) float64 {
-	if elapsedCycles <= 0 {
+// demand metric in GB/s, given the elapsed window and the clock in GHz.
+func (c *Channel) DemandGBps(elapsed timing.Tick, clockGHz float64) float64 {
+	if elapsed <= 0 {
 		return 0
 	}
-	seconds := elapsedCycles / (clockGHz * 1e9)
+	seconds := elapsed.Cycles() / (clockGHz * 1e9)
 	return float64(c.TotalBytes) / 1e9 / seconds
 }

@@ -4,7 +4,12 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"cmpsim/internal/timing"
 )
+
+// cy converts whole cycles to ticks for test readability.
+func cy(n int64) timing.Tick { return timing.FromIntCycles(n) }
 
 func TestSendAccountsBytes(t *testing.T) {
 	c := NewChannel(4.0)
@@ -16,9 +21,9 @@ func TestSendAccountsBytes(t *testing.T) {
 
 func TestSendOccupancy(t *testing.T) {
 	c := NewChannel(4.0) // 4 bytes/cycle
-	done := c.Send(100, 8)
-	if want := 100 + 72.0/4.0; done != want {
-		t.Fatalf("done = %f, want %f", done, want)
+	done := c.Send(cy(100), 8)
+	if want := cy(100) + timing.FromCycles(72.0/4.0); done != want {
+		t.Fatalf("done = %v, want %v", done, want)
 	}
 }
 
@@ -26,11 +31,11 @@ func TestQueueingDelaysSecondMessage(t *testing.T) {
 	c := NewChannel(4.0)
 	first := c.Send(0, 8) // occupies until cycle 18
 	done := c.Send(0, 8)  // must wait
-	if done != first+18 {
-		t.Fatalf("second done = %f, want %f", done, first+18)
+	if done != first+cy(18) {
+		t.Fatalf("second done = %v, want %v", done, first+cy(18))
 	}
-	if c.QueueDelay != first {
-		t.Fatalf("queue delay = %f, want %f", c.QueueDelay, first)
+	if c.QueueDelay() != first {
+		t.Fatalf("queue delay = %v, want %v", c.QueueDelay(), first)
 	}
 }
 
@@ -40,22 +45,22 @@ func TestInfiniteChannelNeverQueues(t *testing.T) {
 		t.Fatal("channel should be infinite")
 	}
 	for i := 0; i < 100; i++ {
-		if done := c.Send(5, 8); done != 5 {
-			t.Fatalf("infinite send done = %f", done)
+		if done := c.Send(cy(5), 8); done != cy(5) {
+			t.Fatalf("infinite send done = %v", done)
 		}
 	}
-	if c.QueueDelay != 0 || c.TotalBytes != 7200 {
+	if c.QueueDelay() != 0 || c.TotalBytes != 7200 {
 		t.Fatalf("stats: %+v", c)
 	}
 }
 
 func TestCompressedMessageIsCheaper(t *testing.T) {
 	c := NewChannel(4.0)
-	full := c.Send(0, 8) - 0
+	full := c.Send(0, 8)
 	c2 := NewChannel(4.0)
-	small := c2.Send(0, 2) - 0
+	small := c2.Send(0, 2)
 	if small >= full {
-		t.Fatalf("2-flit message (%f) should be faster than 8-flit (%f)", small, full)
+		t.Fatalf("2-flit message (%v) should be faster than 8-flit (%v)", small, full)
 	}
 }
 
@@ -63,7 +68,7 @@ func TestDemandGBps(t *testing.T) {
 	c := NewChannel(0)
 	c.Send(0, 8) // 72 bytes
 	// 72 bytes over 5e9 cycles at 5 GHz = 1 second -> 72e-9 GB/s.
-	got := c.DemandGBps(5e9, 5.0)
+	got := c.DemandGBps(cy(5e9), 5.0)
 	if math.Abs(got-72e-9) > 1e-12 {
 		t.Fatalf("demand = %g", got)
 	}
@@ -72,10 +77,10 @@ func TestDemandGBps(t *testing.T) {
 func TestUtilization(t *testing.T) {
 	c := NewChannel(4.0)
 	c.Send(0, 8) // busy 18 cycles
-	if u := c.Utilization(36); math.Abs(u-0.5) > 1e-9 {
+	if u := c.Utilization(cy(36)); math.Abs(u-0.5) > 1e-9 {
 		t.Fatalf("utilization = %f", u)
 	}
-	if u := c.Utilization(9); u != 1 {
+	if u := c.Utilization(cy(9)); u != 1 {
 		t.Fatalf("utilization should clamp to 1, got %f", u)
 	}
 	if u := c.Utilization(0); u != 0 {
@@ -103,21 +108,19 @@ func TestNegativeBandwidthPanics(t *testing.T) {
 }
 
 // Property: completion times are monotone in submission order and never
-// precede the submission time plus occupancy.
+// precede the submission time plus occupancy. Exact in the tick domain.
 func TestSendMonotoneProperty(t *testing.T) {
 	f := func(times []uint16, flitsRaw []uint8) bool {
 		c := NewChannel(2.5)
-		var prev float64
-		now := 0.0
+		var prev, now timing.Tick
 		for i, dt := range times {
-			now += float64(dt % 100)
+			now += cy(int64(dt % 100))
 			flits := 0
 			if i < len(flitsRaw) {
 				flits = int(flitsRaw[i] % 9)
 			}
 			done := c.Send(now, flits)
-			minOcc := float64(HeaderBytes+flits*FlitBytes) / 2.5
-			if done < now+minOcc-1e-9 {
+			if done < now+c.Occupancy(flits) {
 				return false
 			}
 			if done < prev {

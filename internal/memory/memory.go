@@ -4,6 +4,10 @@
 // — compressed or uncompressed, with a bit encoded in the ECC recording
 // which (the paper's simple memory interface that does not change
 // effective memory capacity).
+//
+// Config latencies are expressed in cycles (the paper's units) and
+// quantized to the timing package's tick grid once, at New; all
+// per-access arithmetic afterwards is integer.
 package memory
 
 import (
@@ -11,6 +15,7 @@ import (
 
 	"cmpsim/internal/cache"
 	"cmpsim/internal/link"
+	"cmpsim/internal/timing"
 )
 
 // Config parameterizes the memory system (paper Table 1 defaults via
@@ -21,7 +26,8 @@ type Config struct {
 	LinkBytesPerCycle float64
 	// DRAMLatency is the access latency in cycles (paper: 400).
 	DRAMLatency float64
-	// Banks is the number of DRAM banks (block-address interleaved).
+	// Banks is the number of DRAM banks (block-address interleaved;
+	// any positive count works, the interleave is a modulo).
 	Banks int
 	// BankOccupancy is the cycles a bank stays busy per access.
 	BankOccupancy float64
@@ -40,9 +46,13 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
 	if c.LinkBytesPerCycle < 0 {
 		return fmt.Errorf("memory: negative link bandwidth")
+	}
+	if _, err := timing.CostPerByte(c.LinkBytesPerCycle); err != nil {
+		return fmt.Errorf("memory: %v", err)
 	}
 	if c.DRAMLatency <= 0 || c.BankOccupancy < 0 {
 		return fmt.Errorf("memory: DRAM latency must be positive")
@@ -61,38 +71,49 @@ func (c Config) validate() error {
 // channel avoids a reservation-model artifact where a request issued
 // at time t would queue behind a response slot reserved at t+400.
 type System struct {
-	cfg      Config
-	Addr     *link.Channel
-	Data     *link.Channel
-	bankBusy []float64
+	cfg     Config
+	Addr    *link.Channel
+	Data    *link.Channel
+	banks   *timing.Banks
+	dramLat timing.Tick
 
 	// ECC meta-state: blocks currently stored compressed in memory.
 	// Tracked only for accounting/tests; sizes come from the SizeFunc.
 	Fetches    uint64
 	Writebacks uint64
-	DRAMWaits  float64 // cumulative bank queueing delay
+	// DRAMWaits is the cumulative bank queueing delay on the fetch path
+	// only — writeback drains are fire-and-forget and their bank waits
+	// never reach a processor, so they do not count toward the paper's
+	// DRAM queueing-delay metric.
+	DRAMWaits  timing.Tick
 	FetchFlits uint64
 	WriteFlits uint64
 }
 
-// New builds a memory system.
+// New builds a memory system; it panics on invalid configuration
+// (callers that need an error use Config.Validate first).
 func New(cfg Config) *System {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	banks, err := timing.NewBanks(cfg.Banks, timing.FromCycles(cfg.BankOccupancy))
+	if err != nil {
+		panic(fmt.Sprintf("memory: %v", err))
+	}
 	return &System{
-		cfg:      cfg,
-		Addr:     link.NewChannel(cfg.LinkBytesPerCycle),
-		Data:     link.NewChannel(cfg.LinkBytesPerCycle),
-		bankBusy: make([]float64, cfg.Banks),
+		cfg:     cfg,
+		Addr:    link.NewChannel(cfg.LinkBytesPerCycle),
+		Data:    link.NewChannel(cfg.LinkBytesPerCycle),
+		banks:   banks,
+		dramLat: timing.FromCycles(cfg.DRAMLatency),
 	}
 }
 
 // TotalBytes returns bytes moved across the pins in both channels.
 func (m *System) TotalBytes() uint64 { return m.Addr.TotalBytes + m.Data.TotalBytes }
 
-// DataBusyCycles returns the data channel's cumulative occupancy.
-func (m *System) DataBusyCycles() float64 { return m.Data.BusyCycles }
+// DataBusyTicks returns the data channel's cumulative occupancy.
+func (m *System) DataBusyTicks() timing.Tick { return m.Data.BusyTicks() }
 
 // Config returns the active configuration.
 func (m *System) Config() Config { return m.cfg }
@@ -114,31 +135,26 @@ func (m *System) flitsFor(segs uint8) int {
 
 // Fetch performs a demand line read: the request message crosses the
 // link, DRAM is accessed (bank conflicts delay), and the response
-// message returns with demand priority. It returns the cycle the line
+// message returns with demand priority. It returns the tick the line
 // is on chip.
-func (m *System) Fetch(now float64, addr cache.BlockAddr, segs uint8) float64 {
+func (m *System) Fetch(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick {
 	return m.fetch(now, addr, segs, true)
 }
 
 // FetchLow is Fetch at prefetch priority: the response queues behind
 // all other traffic on the data channel.
-func (m *System) FetchLow(now float64, addr cache.BlockAddr, segs uint8) float64 {
+func (m *System) FetchLow(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick {
 	return m.fetch(now, addr, segs, false)
 }
 
-func (m *System) fetch(now float64, addr cache.BlockAddr, segs uint8, demand bool) float64 {
+func (m *System) fetch(now timing.Tick, addr cache.BlockAddr, segs uint8, demand bool) timing.Tick {
 	m.Fetches++
 	// Request message: header only, on the address channel.
 	reqDone := m.Addr.Send(now, 0)
-	// DRAM bank access.
-	bank := int(uint64(addr) % uint64(m.cfg.Banks))
-	start := reqDone
-	if m.bankBusy[bank] > start {
-		m.DRAMWaits += m.bankBusy[bank] - start
-		start = m.bankBusy[bank]
-	}
-	m.bankBusy[bank] = start + m.cfg.BankOccupancy
-	dataReady := start + m.cfg.DRAMLatency
+	// DRAM bank access; the wait (if any) is fetch-path queueing.
+	start := m.banks.Acquire(uint64(addr), reqDone)
+	m.DRAMWaits += start - reqDone
+	dataReady := start + m.dramLat
 	// Response: the bandwidth slot is claimed in request order (the
 	// controller pipelines transfers), but the data cannot leave before
 	// the DRAM produces it.
@@ -154,31 +170,30 @@ func (m *System) fetch(now float64, addr cache.BlockAddr, segs uint8, demand boo
 // Writeback sends a dirty line to memory, consuming link bandwidth and
 // a DRAM bank slot. The caller does not wait for completion; the return
 // value is when the write has fully drained (for tests).
-func (m *System) Writeback(now float64, addr cache.BlockAddr, segs uint8) float64 {
+func (m *System) Writeback(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick {
 	m.Writebacks++
 	flits := m.flitsFor(segs)
 	m.WriteFlits += uint64(flits)
 	done := m.Data.SendLow(now, flits)
-	bank := int(uint64(addr) % uint64(m.cfg.Banks))
-	start := done
-	if m.bankBusy[bank] > start {
-		start = m.bankBusy[bank]
-	}
-	m.bankBusy[bank] = start + m.cfg.BankOccupancy
-	return start + m.cfg.BankOccupancy
+	start := m.banks.Acquire(uint64(addr), done)
+	return start + m.banks.Occupancy()
 }
 
 // CheckInvariants verifies flit conservation across the memory system
 // (audit support): both channels internally conserve bytes, every data
 // payload flit belongs to exactly one fetch or writeback, requests ride
-// the address channel header-only, and one request message exists per
-// fetch. It returns the first violation, or "".
+// the address channel header-only, one request message exists per
+// fetch, and the DRAM banks' reservation state is sane. It returns the
+// first violation, or "".
 func (m *System) CheckInvariants() string {
 	if bad := m.Addr.CheckInvariants(); bad != "" {
 		return "addr channel: " + bad
 	}
 	if bad := m.Data.CheckInvariants(); bad != "" {
 		return "data channel: " + bad
+	}
+	if bad := m.banks.CheckInvariants(); bad != "" {
+		return "dram banks: " + bad
 	}
 	if want := m.FetchFlits + m.WriteFlits; m.Data.PayloadFlits != want {
 		return fmt.Sprintf("flit conservation: data channel carried %d payload flits but fetches (%d) + writebacks (%d) account for %d",
@@ -193,18 +208,19 @@ func (m *System) CheckInvariants() string {
 	if m.Data.Messages != m.Fetches+m.Writebacks {
 		return fmt.Sprintf("%d data messages for %d fetches + %d writebacks", m.Data.Messages, m.Fetches, m.Writebacks)
 	}
+	if m.banks.Grants() != m.Fetches+m.Writebacks {
+		return fmt.Sprintf("%d bank grants for %d fetches + %d writebacks", m.banks.Grants(), m.Fetches, m.Writebacks)
+	}
 	return ""
 }
 
 // UncontendedFetchLatency returns the no-queueing round-trip latency of
 // a fetch with the given compressed size: the lower bound the timing
 // model approaches when bandwidth is plentiful.
-func (m *System) UncontendedFetchLatency(segs uint8) float64 {
-	lat := m.cfg.DRAMLatency
+func (m *System) UncontendedFetchLatency(segs uint8) timing.Tick {
+	lat := m.dramLat
 	if !m.Data.Infinite() {
-		reqBytes := float64(link.HeaderBytes)
-		respBytes := float64(link.HeaderBytes + m.flitsFor(segs)*link.FlitBytes)
-		lat += (reqBytes + respBytes) / m.cfg.LinkBytesPerCycle
+		lat += m.Addr.Occupancy(0) + m.Data.Occupancy(m.flitsFor(segs))
 	}
 	return lat
 }

@@ -1,22 +1,25 @@
 package memory
 
 import (
-	"math"
 	"testing"
 
 	"cmpsim/internal/cache"
+	"cmpsim/internal/timing"
 )
+
+// cy converts whole cycles to ticks for test readability.
+func cy(n int64) timing.Tick { return timing.FromIntCycles(n) }
 
 func TestFetchLatencyUncontended(t *testing.T) {
 	m := New(DefaultConfig())
 	done := m.Fetch(0, 0, cache.MaxSegs)
 	// Request: 8 B / 4 Bpc = 2 cycles. DRAM: 400. Response: 72 B / 4 = 18.
-	want := 2.0 + 400 + 18
-	if math.Abs(done-want) > 1e-9 {
-		t.Fatalf("fetch done = %f, want %f", done, want)
+	want := cy(2 + 400 + 18)
+	if done != want {
+		t.Fatalf("fetch done = %v, want %v", done, want)
 	}
-	if got := m.UncontendedFetchLatency(cache.MaxSegs); math.Abs(got-want) > 1e-9 {
-		t.Fatalf("uncontended latency = %f, want %f", got, want)
+	if got := m.UncontendedFetchLatency(cache.MaxSegs); got != want {
+		t.Fatalf("uncontended latency = %v, want %v", got, want)
 	}
 }
 
@@ -26,9 +29,9 @@ func TestLinkCompressionShortensResponse(t *testing.T) {
 	m := New(cfg)
 	done := m.Fetch(0, 0, 2)
 	// Response: header + 2 flits = 24 B / 4 = 6 cycles.
-	want := 2.0 + 400 + 6
-	if math.Abs(done-want) > 1e-9 {
-		t.Fatalf("compressed fetch = %f, want %f", done, want)
+	want := cy(2 + 400 + 6)
+	if done != want {
+		t.Fatalf("compressed fetch = %v, want %v", done, want)
 	}
 	if m.FetchFlits != 2 {
 		t.Fatalf("fetch flits = %d", m.FetchFlits)
@@ -47,19 +50,20 @@ func TestBankConflictDelays(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LinkBytesPerCycle = 0 // isolate DRAM behaviour
 	m := New(cfg)
+	occ := timing.FromCycles(cfg.BankOccupancy)
 	// Same bank (addr 0 and addr 16 with 16 banks).
 	first := m.Fetch(0, 0, 8)
 	second := m.Fetch(0, 16, 8)
-	if second != first+cfg.BankOccupancy {
-		t.Fatalf("second fetch = %f, want %f", second, first+cfg.BankOccupancy)
+	if second != first+occ {
+		t.Fatalf("second fetch = %v, want %v", second, first+occ)
 	}
-	if m.DRAMWaits != cfg.BankOccupancy {
-		t.Fatalf("DRAM waits = %f", m.DRAMWaits)
+	if m.DRAMWaits != occ {
+		t.Fatalf("DRAM waits = %v", m.DRAMWaits)
 	}
 	// Different bank: no delay.
 	third := m.Fetch(0, 1, 8)
 	if third != first {
-		t.Fatalf("third fetch (other bank) = %f, want %f", third, first)
+		t.Fatalf("third fetch (other bank) = %v, want %v", third, first)
 	}
 }
 
@@ -76,6 +80,17 @@ func TestWritebackConsumesLink(t *testing.T) {
 	}
 }
 
+func TestWritebackBankWaitNotCountedAsDRAMWait(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkBytesPerCycle = 0 // isolate DRAM behaviour
+	m := New(cfg)
+	m.Fetch(0, 0, 8)      // bank 0 busy until 40
+	m.Writeback(0, 16, 8) // same bank: waits, but fire-and-forget
+	if m.DRAMWaits != 0 {
+		t.Fatalf("writeback bank wait leaked into DRAMWaits: %v", m.DRAMWaits)
+	}
+}
+
 func TestWritebackDelaysSubsequentFetchResponse(t *testing.T) {
 	m := New(DefaultConfig())
 	m.Writeback(0, 5, 8) // occupies the data channel for 18 cycles
@@ -83,15 +98,15 @@ func TestWritebackDelaysSubsequentFetchResponse(t *testing.T) {
 	// The request uses the address channel (no wait), but the response
 	// shares the data channel; here DRAM latency dwarfs the writeback,
 	// so there is no queueing: 2 + 400 + 18.
-	want := 2.0 + 400 + 18
-	if math.Abs(done-want) > 1e-9 {
-		t.Fatalf("fetch after writeback = %f, want %f", done, want)
+	want := cy(2 + 400 + 18)
+	if done != want {
+		t.Fatalf("fetch after writeback = %v, want %v", done, want)
 	}
 	// A second immediate fetch to another bank queues its response
 	// behind the first on the data channel.
 	done2 := m.Fetch(0, 17, 8)
 	if done2 <= done {
-		t.Fatalf("second response should queue: %f vs %f", done2, done)
+		t.Fatalf("second response should queue: %v vs %v", done2, done)
 	}
 }
 
@@ -100,8 +115,8 @@ func TestInfiniteBandwidthMeasurementMode(t *testing.T) {
 	cfg.LinkBytesPerCycle = 0
 	m := New(cfg)
 	done := m.Fetch(0, 7, 8)
-	if done != cfg.DRAMLatency {
-		t.Fatalf("infinite-bw fetch = %f, want %f", done, cfg.DRAMLatency)
+	if done != timing.FromCycles(cfg.DRAMLatency) {
+		t.Fatalf("infinite-bw fetch = %v, want %gcy", done, cfg.DRAMLatency)
 	}
 	// Bytes are still counted for the bandwidth-demand metric.
 	if m.TotalBytes() == 0 {
@@ -116,14 +131,33 @@ func TestConfigValidation(t *testing.T) {
 		{LinkBytesPerCycle: 4, DRAMLatency: 400, Banks: 0},
 	}
 	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("config %d should panic", i)
+					t.Errorf("config %d should panic in New", i)
 				}
 			}()
 			New(cfg)
 		}()
+	}
+}
+
+func TestNonPowerOfTwoBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Banks = 3
+	cfg.LinkBytesPerCycle = 0
+	m := New(cfg)
+	occ := timing.FromCycles(cfg.BankOccupancy)
+	// Addresses 0 and 3 collide under modulo-3 interleave; 1 does not.
+	first := m.Fetch(0, 0, 8)
+	if other := m.Fetch(0, 1, 8); other != first {
+		t.Fatalf("bank 1 fetch = %v, want %v", other, first)
+	}
+	if conflict := m.Fetch(0, 3, 8); conflict != first+occ {
+		t.Fatalf("conflicting fetch = %v, want %v", conflict, first+occ)
 	}
 }
 

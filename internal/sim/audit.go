@@ -17,7 +17,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,6 +24,7 @@ import (
 	"cmpsim/internal/audit"
 	"cmpsim/internal/cache"
 	"cmpsim/internal/prefetch"
+	"cmpsim/internal/timing"
 )
 
 // defaultCheckInterval is the sweep cadence in simulation steps when
@@ -128,12 +128,13 @@ func (s *System) auditSweep() {
 	}
 	a.Check("l2-set-state", now, s.h.L2.CheckInvariants())
 	a.Check("msi", now, s.h.AuditMSI())
-	for c := range s.engL1I {
-		a.Check("stream-bounds", now, s.engL1I[c].CheckInvariants())
-		a.Check("stream-bounds", now, s.engL1D[c].CheckInvariants())
-		a.Check("stream-bounds", now, s.engL2[c].CheckInvariants())
+	for c := range s.fe.engL1I {
+		a.Check("stream-bounds", now, s.fe.engL1I[c].CheckInvariants())
+		a.Check("stream-bounds", now, s.fe.engL1D[c].CheckInvariants())
+		a.Check("stream-bounds", now, s.fe.engL2[c].CheckInvariants())
 	}
 	a.Check("flit-conservation", now, s.mem.CheckInvariants())
+	a.Check("resource-state", now, s.l2s.CheckInvariants())
 	s.checkInflight(a, now)
 	if a.Level() >= audit.Shadow {
 		s.h.L2.ForEachValid(func(ln *cache.Line) { a.CheckL2Line(now, ln) })
@@ -143,16 +144,18 @@ func (s *System) auditSweep() {
 }
 
 // checkInflight audits the MSHR-equivalent in-flight prefetch table:
-// completion times must be finite, non-negative and not absurdly far
-// beyond the current cycle (a leaked entry never resolves and would
-// otherwise linger unnoticed, since pruning only removes past entries).
-func (s *System) checkInflight(a *audit.Auditor, now float64) {
-	const horizon = 1e12 // generous bound: no fetch takes 10^12 cycles
+// completion ticks must be non-negative and not absurdly far beyond
+// the current tick (a leaked entry never resolves and would otherwise
+// linger unnoticed, since pruning only removes past entries).
+func (s *System) checkInflight(a *audit.Auditor, now timing.Tick) {
+	// Generous bound: no fetch takes 10^10 cycles (any larger multiple
+	// of TicksPerCycle would not fit the int64 tick domain).
+	const horizon = 10_000_000_000 * timing.TicksPerCycle
 	var badAddr cache.BlockAddr
-	var badT float64
+	var badT timing.Tick
 	found := false
 	for addr, t := range s.inflight {
-		if math.IsNaN(t) || t < 0 || t > now+horizon {
+		if t < 0 || t > now+horizon {
 			if !found || addr < badAddr {
 				badAddr, badT, found = addr, t, true
 			}
@@ -160,13 +163,13 @@ func (s *System) checkInflight(a *audit.Auditor, now float64) {
 	}
 	if found {
 		a.Fail("mshr-inflight", now, -1, -1, badAddr,
-			fmt.Sprintf("in-flight completion time %g with current cycle %g", badT, now))
+			fmt.Sprintf("in-flight completion time %v with current cycle %v", badT, now))
 	}
 }
 
 // auditWriteback routes a dirty-line writeback through the shadow model
 // (size cross-check) before handing it to the memory system.
-func (s *System) auditWriteback(now float64, wb cache.BlockAddr) {
+func (s *System) auditWriteback(now timing.Tick, wb cache.BlockAddr) {
 	segs := s.data.SizeOf(wb)
 	if s.aud != nil {
 		s.aud.OnWriteback(now, wb, segs)
@@ -232,7 +235,7 @@ func (s *System) applyStateFault() {
 			}
 		})
 	case "corrupt-stream":
-		if eng, ok := s.engL1D[0].(*prefetch.Engine); ok {
+		if eng, ok := s.fe.engL1D[0].(*prefetch.Engine); ok {
 			eng.CorruptStream()
 		} else {
 			panic("sim: corrupt-stream fault requires the stride prefetcher")
@@ -240,7 +243,7 @@ func (s *System) applyStateFault() {
 	case "drop-flit":
 		s.mem.FetchFlits++
 	case "leak-mshr":
-		s.inflight[cache.BlockAddr(0xDEAD_BEEF)] = 1e30
+		s.inflight[cache.BlockAddr(0xDEAD_BEEF)] = timing.Tick(1) << 62
 	case "corrupt-value":
 		// Mutate block contents without telling the shadow model.
 		s.data.Dirty(s.ref.Addr)

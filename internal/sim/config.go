@@ -180,6 +180,12 @@ func (c Config) Validate() error {
 	case !c.CheckLevel.Valid():
 		return fmt.Errorf("sim: invalid CheckLevel %d", c.CheckLevel)
 	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
 	if c.StateFault != "" {
 		if _, _, err := parseStateFault(c.StateFault); err != nil {
 			return err

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/prefetch"
+	"cmpsim/internal/timing"
+	"cmpsim/internal/workload"
+)
+
+// frontEnd is the per-core issue stage: the bounded run-ahead cores,
+// their reference generators, and the prefetch machinery that observes
+// each core's access stream — per-core L1I/L1D/L2 engines plus the
+// adaptive controllers (one per L1 cache, a single shared one for the
+// L2, paper §3). It owns everything indexed by core, so the rest of
+// the simulator treats the core count as a free parameter.
+type frontEnd struct {
+	cores []*cpu.Core
+	gens  []*workload.Generator
+
+	engL1I, engL1D, engL2 []prefetch.Prefetcher
+	adL1I, adL1D          []*prefetch.Adaptive
+	adL2                  *prefetch.Adaptive
+}
+
+// newFrontEnd builds the per-core stage; the workload's BaseCPI
+// overrides the CPU config's.
+func newFrontEnd(cfg Config, prof workload.Profile) *frontEnd {
+	l1cfg := prefetch.L1Config()
+	if cfg.L1PrefetchDepth > 0 {
+		l1cfg.StartupDepth = cfg.L1PrefetchDepth
+	}
+	l2cfg := prefetch.L2Config()
+	if cfg.L2PrefetchDepth > 0 {
+		l2cfg.StartupDepth = cfg.L2PrefetchDepth
+	}
+	cpuCfg := cfg.CPU
+	cpuCfg.BaseCPI = prof.BaseCPI
+	newEngine := func(c prefetch.Config) prefetch.Prefetcher {
+		if cfg.PrefetcherKind == "sequential" {
+			sc := prefetch.DefaultSequentialConfig()
+			sc.Degree = c.StartupDepth / 3 // comparable aggressiveness
+			if sc.Degree < 1 {
+				sc.Degree = 1
+			}
+			return prefetch.NewSequential(sc)
+		}
+		return prefetch.New(c)
+	}
+	fe := &frontEnd{}
+	for c := 0; c < cfg.Cores; c++ {
+		fe.cores = append(fe.cores, cpu.New(cpuCfg))
+		fe.gens = append(fe.gens, workload.NewGenerator(prof, c, cfg.Seed))
+		fe.engL1I = append(fe.engL1I, newEngine(l1cfg))
+		fe.engL1D = append(fe.engL1D, newEngine(l1cfg))
+		fe.engL2 = append(fe.engL2, newEngine(l2cfg))
+		fe.adL1I = append(fe.adL1I, prefetch.NewAdaptive(l1cfg.StartupDepth))
+		fe.adL1D = append(fe.adL1D, prefetch.NewAdaptive(l1cfg.StartupDepth))
+	}
+	fe.adL2 = prefetch.NewAdaptive(l2cfg.StartupDepth)
+	if cfg.AdaptivePrefetch {
+		for c := 0; c < cfg.Cores; c++ {
+			fe.engL1I[c].SetCap(fe.adL1I[c].Cap)
+			fe.engL1D[c].SetCap(fe.adL1D[c].Cap)
+			fe.engL2[c].SetCap(fe.adL2.Cap)
+		}
+	}
+	return fe
+}
+
+// count returns the number of cores.
+func (fe *frontEnd) count() int { return len(fe.cores) }
+
+// nextCore picks the unfinished core with the smallest local clock —
+// the simulator's deterministic event order. targets holds each
+// generator's instruction goal; -1 means every core reached its target.
+// Same-clock ties (exact in the integer tick domain) resolve to the
+// lowest core index.
+func (fe *frontEnd) nextCore(targets []uint64) int {
+	c := -1
+	for i := range fe.cores {
+		if fe.gens[i].Instructions >= targets[i] {
+			continue
+		}
+		if c == -1 || fe.cores[i].Now < fe.cores[c].Now {
+			c = i
+		}
+	}
+	return c
+}
+
+// maxNow returns the furthest-ahead core clock, the simulator's notion
+// of elapsed wall time (Metrics.Cycles uses the same basis).
+func (fe *frontEnd) maxNow() timing.Tick {
+	max := fe.cores[0].Now
+	for _, c := range fe.cores[1:] {
+		if c.Now > max {
+			max = c.Now
+		}
+	}
+	return max
+}
+
+// minNow returns the furthest-behind core clock (in-flight pruning
+// horizon: anything completed before it can never be referenced as
+// pending again).
+func (fe *frontEnd) minNow() timing.Tick {
+	min := fe.cores[0].Now
+	for _, c := range fe.cores[1:] {
+		if c.Now < min {
+			min = c.Now
+		}
+	}
+	return min
+}
+
+// drain waits out every core's outstanding misses (end of a phase).
+func (fe *frontEnd) drain() {
+	for _, c := range fe.cores {
+		c.Drain()
+	}
+}

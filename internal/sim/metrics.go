@@ -3,6 +3,7 @@ package sim
 import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/timing"
 )
 
 // EngineMetrics reports one prefetcher class's Table 4 measures,
@@ -54,7 +55,10 @@ type AdaptiveMetrics struct {
 }
 
 // Metrics is the result of one Run: every quantity the paper's
-// evaluation reports, measured over the post-warmup window.
+// evaluation reports, measured over the post-warmup window. This is
+// the reporting boundary of the tick domain: all simulation time is
+// integer timing.Tick internally and converts to float64 cycles
+// exactly here (and in the interval telemetry), never the other way.
 type Metrics struct {
 	Benchmark string
 	Label     string
@@ -132,13 +136,13 @@ type totals struct {
 
 	memFetches, memWritebacks uint64
 	linkBytes                 uint64
-	linkBusy                  float64
-	linkQDelay                float64 // data-channel queueing (was read cumulatively pre-fix)
-	dramQDelay                float64 // DRAM bank queueing (was read cumulatively pre-fix)
+	linkBusy                  timing.Tick
+	linkQDelay                timing.Tick // data-channel queueing (was read cumulatively pre-fix)
+	dramQDelay                timing.Tick // DRAM bank queueing (was read cumulatively pre-fix)
 
-	effSizeSum float64 // effective-L2-size accumulator (bytes × samples)
+	effSizeSum uint64 // effective-L2-size accumulator (bytes × samples)
 	effSizeN   uint64
-	hitLatSum  float64 // L2 hit latency accumulator (cycles × hits)
+	hitLatSum  timing.Tick // L2 hit latency accumulator (ticks × hits)
 	hitLatN    uint64
 
 	pfIssued, pfHits, pfPartial, pfRedundant, pfAllocs [4]uint64

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"cmpsim/internal/audit"
 	"cmpsim/internal/coherence"
 )
 
@@ -215,6 +216,14 @@ func TestConfigValidation(t *testing.T) {
 		{"zero L2 hit latency", func(c *Config) { c.L2HitCycles = 0 }},
 		{"zero clock", func(c *Config) { c.ClockGHz = 0 }},
 		{"adaptive without prefetching", func(c *Config) { c.AdaptivePrefetch = true; c.Prefetching = false }},
+		{"zero DRAM banks", func(c *Config) { c.Memory.Banks = 0 }},
+		{"negative DRAM banks", func(c *Config) { c.Memory.Banks = -4 }},
+		{"zero DRAM latency", func(c *Config) { c.Memory.DRAMLatency = 0 }},
+		{"negative bank occupancy", func(c *Config) { c.Memory.BankOccupancy = -1 }},
+		{"negative link bandwidth", func(c *Config) { c.Memory.LinkBytesPerCycle = -1 }},
+		{"link bandwidth over tick resolution", func(c *Config) { c.Memory.LinkBytesPerCycle = 1e12 }},
+		{"zero CPU BaseCPI", func(c *Config) { c.CPU.BaseCPI = 0 }},
+		{"zero MSHRs", func(c *Config) { c.CPU.MSHRs = 0 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -224,6 +233,73 @@ func TestConfigValidation(t *testing.T) {
 				t.Error("invalid config accepted")
 			}
 		})
+	}
+}
+
+// TestCoreCountIsFreeParameter runs the full mechanism stack end to
+// end at 4 and 16 cores (the paper's fixed 8 is just a default) and
+// checks the per-core structures scale: total work is per-core, and
+// more cores contending for the same L2 and pins must not deadlock or
+// drop work. A non-power-of-two bank count rides along to cover the
+// modulo interleave end to end.
+func TestCoreCountIsFreeParameter(t *testing.T) {
+	for _, cores := range []int{4, 16} {
+		cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+		cfg.Cores = cores
+		cfg.L2Banks = 7 // non-power-of-two interleave
+		cfg.Memory.Banks = 5
+		m := run(t, cfg)
+		if m.Cores != cores {
+			t.Fatalf("metrics report %d cores, want %d", m.Cores, cores)
+		}
+		if want := uint64(cores) * cfg.MeasureInstr; m.Instructions != want {
+			t.Fatalf("%d cores: instructions %d, want %d", cores, m.Instructions, want)
+		}
+		if m.Cycles <= 0 || m.IPC <= 0 {
+			t.Fatalf("%d cores: cycles=%f ipc=%f", cores, m.Cycles, m.IPC)
+		}
+		// Determinism must hold at every core count.
+		if m2 := run(t, cfg); m2.Cycles != m.Cycles || m2.L2Misses != m.L2Misses {
+			t.Fatalf("%d cores: non-deterministic", cores)
+		}
+	}
+}
+
+// TestHeavyBankConflict funnels every L2 and DRAM access through a
+// single bank with prefetching on: the worst case for the in-flight
+// prefetch table (resolveInflight sees many partial hits because
+// serialized fills complete late) and for pruneInflight (entries
+// accumulate behind the bank backlog). The invariant audit runs the
+// mshr-inflight and resource-state sweeps throughout.
+func TestHeavyBankConflict(t *testing.T) {
+	cfg := smallConfig("mgrid").WithMechanisms(false, false, true, false)
+	cfg.L2Banks = 1
+	cfg.Memory.Banks = 1
+	cfg.L2BankOccupancy = 8 // stretch the serialization
+	cfg.CheckLevel = audit.Invariants
+	m := run(t, cfg)
+	var partial, hits uint64
+	for src := range m.Engines {
+		partial += m.Engines[src].PartialHits
+		hits += m.Engines[src].PrefetchHits
+	}
+	if hits == 0 {
+		t.Fatal("no prefetch hits under bank conflict")
+	}
+	if partial == 0 {
+		t.Fatal("serialized banks produced no partial hits (resolveInflight untested)")
+	}
+	if m.DRAMQueueDelay == 0 {
+		t.Fatal("single DRAM bank recorded no queueing")
+	}
+	// The conflicted run must cost more than the banked one.
+	banked := cfg
+	banked.L2Banks = 8
+	banked.Memory.Banks = 16
+	banked.L2BankOccupancy = 4
+	mb := run(t, banked)
+	if m.Cycles <= mb.Cycles {
+		t.Fatalf("bank conflict not slower: %f vs %f", m.Cycles, mb.Cycles)
 	}
 }
 
@@ -314,6 +390,29 @@ func BenchmarkSimZeusBase(b *testing.B) {
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSystemStep measures the integer hot path in isolation: one
+// step (reference generation, hierarchy access, tick-domain pricing)
+// on a warmed system with every mechanism on, bypassing Run's
+// construction and metric assembly.
+func BenchmarkSystemStep(b *testing.B) {
+	cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.phase(cfg.WarmupInstr)
+	targets := make([]uint64, s.fe.count())
+	for i := range targets {
+		targets[i] = ^uint64(0) // never finished: steps are driven by b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.fe.nextCore(targets)
+		s.step(c)
 	}
 }
 

@@ -1,0 +1,44 @@
+package sim
+
+// Stage interfaces: the simulation loop is split into staged components
+// — front end (core issue + reference generation + prefetch engines),
+// shared L2 (banked, compressed or plain), and off-chip memory (pin
+// link + DRAM banks) — that talk to each other through the narrow
+// interfaces below. Each stage owns its timing state (timing.Resource /
+// timing.Banks / timing.Port) and its latency constants, already
+// quantized to ticks; the System only orchestrates the event order and
+// the attribution counters. Cores and bank counts are free parameters:
+// nothing below assumes a specific core count or a power-of-two bank
+// geometry.
+
+import (
+	"cmpsim/internal/cache"
+	"cmpsim/internal/coherence"
+	"cmpsim/internal/timing"
+)
+
+// memService is what the L2 stage (and the writeback path) needs from
+// the off-chip memory system: priced fetches in two priority classes
+// and fire-and-forget writebacks. *memory.System implements it.
+type memService interface {
+	Fetch(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick
+	FetchLow(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick
+	Writeback(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick
+}
+
+// l2Service is what the issue loop needs from the shared-L2 stage: the
+// price of an L1-missing demand access and of the two prefetch fill
+// shapes, all returning the tick the data is available on chip.
+// *l2Stage implements it.
+type l2Service interface {
+	// Demand prices an L1-missing demand access: L2 bank reservation,
+	// then the hit latency (plus decompression / dirty-forward
+	// penalties) or the full memory round trip. The result is passed by
+	// value: a pointer would escape through the interface call and put
+	// one AccessResult on the heap per simulated reference.
+	Demand(now timing.Tick, addr cache.BlockAddr, r coherence.AccessResult) timing.Tick
+	// FillForL1 prices an L1 prefetch fill (L2 hit or memory fetch).
+	FillForL1(now timing.Tick, addr cache.BlockAddr, out coherence.PrefetchOutcome) timing.Tick
+	// FillForL2 prices an L2 prefetch fill (always a memory fetch).
+	FillForL2(now timing.Tick, addr cache.BlockAddr, segs uint8) timing.Tick
+}

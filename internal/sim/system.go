@@ -6,31 +6,35 @@ import (
 	"cmpsim/internal/audit"
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
-	"cmpsim/internal/cpu"
 	"cmpsim/internal/memory"
 	"cmpsim/internal/prefetch"
+	"cmpsim/internal/timing"
 	"cmpsim/internal/workload"
 )
 
-// System is one assembled CMP instance.
+// Compile-time checks that the concrete stages satisfy the stage seams.
+var (
+	_ memService = (*memory.System)(nil)
+	_ l2Service  = (*l2Stage)(nil)
+)
+
+// System is one assembled CMP instance: the coherent cache hierarchy
+// plus the three timing stages (frontEnd, l2Stage, memory.System) and
+// the attribution counters the Metrics are computed from.
 type System struct {
 	cfg  Config
 	prof workload.Profile
 	data *workload.DataModel
 
-	h     *coherence.Hierarchy
-	mem   *memory.System
-	cores []*cpu.Core
-	gens  []*workload.Generator
+	h   *coherence.Hierarchy
+	mem *memory.System // concrete memory stage (counter snapshots)
+	fe  *frontEnd      // core issue + generators + prefetch engines
+	l2  l2Service      // shared-L2 pricing seam
+	l2s *l2Stage       // the same stage, concrete (hit stats, audit)
 
-	// Prefetch engines per core and the adaptive controllers: one per
-	// L1 cache, a single shared one for the L2 (paper §3).
-	engL1I, engL1D, engL2 []prefetch.Prefetcher
-	adL1I, adL1D          []*prefetch.Adaptive
-	adL2                  *prefetch.Adaptive
-
-	bankBusy []float64 // L2 bank reservation
-	inflight map[cache.BlockAddr]float64
+	// inflight is the MSHR-equivalent table of outstanding prefetch
+	// fills: block → completion tick.
+	inflight map[cache.BlockAddr]timing.Tick
 
 	dirtyRng *rand.Rand
 
@@ -39,10 +43,8 @@ type System struct {
 	pfAllocsCount                            [4]uint64
 
 	steps       uint64
-	effSizeSum  float64
+	effSizeSum  uint64 // valid-line bytes summed over samples (integer: no float accumulation order)
 	effSizeN    uint64
-	hitLatSum   float64
-	hitLatN     uint64
 	measuring   bool
 	missProfile map[cache.BlockAddr]uint32
 	ref         workload.Ref
@@ -73,10 +75,14 @@ func NewSystem(cfg Config) (*System, error) {
 		prof:     prof,
 		data:     workload.NewDataModel(prof, cfg.Seed),
 		mem:      memory.New(memCfg),
-		bankBusy: make([]float64, cfg.L2Banks),
-		inflight: make(map[cache.BlockAddr]float64),
+		inflight: make(map[cache.BlockAddr]timing.Tick),
 		dirtyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
 	}
+	s.l2s, err = newL2Stage(cfg, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = s.l2s
 
 	var l2 cache.L2
 	if cfg.CacheCompression {
@@ -95,45 +101,7 @@ func NewSystem(cfg Config) (*System, error) {
 		L2:      l2,
 		Size:    s.data.SizeOf,
 	})
-
-	l1cfg := prefetch.L1Config()
-	if cfg.L1PrefetchDepth > 0 {
-		l1cfg.StartupDepth = cfg.L1PrefetchDepth
-	}
-	l2cfg := prefetch.L2Config()
-	if cfg.L2PrefetchDepth > 0 {
-		l2cfg.StartupDepth = cfg.L2PrefetchDepth
-	}
-	cpuCfg := cfg.CPU
-	cpuCfg.BaseCPI = prof.BaseCPI
-	newEngine := func(c prefetch.Config) prefetch.Prefetcher {
-		if cfg.PrefetcherKind == "sequential" {
-			sc := prefetch.DefaultSequentialConfig()
-			sc.Degree = c.StartupDepth / 3 // comparable aggressiveness
-			if sc.Degree < 1 {
-				sc.Degree = 1
-			}
-			return prefetch.NewSequential(sc)
-		}
-		return prefetch.New(c)
-	}
-	for c := 0; c < cfg.Cores; c++ {
-		s.cores = append(s.cores, cpu.New(cpuCfg))
-		s.gens = append(s.gens, workload.NewGenerator(prof, c, cfg.Seed))
-		s.engL1I = append(s.engL1I, newEngine(l1cfg))
-		s.engL1D = append(s.engL1D, newEngine(l1cfg))
-		s.engL2 = append(s.engL2, newEngine(l2cfg))
-		s.adL1I = append(s.adL1I, prefetch.NewAdaptive(l1cfg.StartupDepth))
-		s.adL1D = append(s.adL1D, prefetch.NewAdaptive(l1cfg.StartupDepth))
-	}
-	s.adL2 = prefetch.NewAdaptive(l2cfg.StartupDepth)
-	if cfg.AdaptivePrefetch {
-		for c := 0; c < cfg.Cores; c++ {
-			s.engL1I[c].SetCap(s.adL1I[c].Cap)
-			s.engL1D[c].SetCap(s.adL1D[c].Cap)
-			s.engL2[c].SetCap(s.adL2.Cap)
-		}
-	}
+	s.fe = newFrontEnd(cfg, prof)
 	if cfg.CollectMissProfile {
 		s.missProfile = make(map[cache.BlockAddr]uint32)
 	}
@@ -162,32 +130,32 @@ func Run(cfg Config) (m Metrics, err error) {
 	return s.run(), nil
 }
 
+// maxCoreNow returns the furthest-ahead core clock (audit and
+// telemetry timebase).
+func (s *System) maxCoreNow() timing.Tick { return s.fe.maxNow() }
+
 func (s *System) run() Metrics {
 	s.phase(s.cfg.WarmupInstr)
 	s.auditSweep() // warmup boundary
 	start := s.rawTotals()
-	startNow := make([]float64, len(s.cores))
-	for i, c := range s.cores {
+	startNow := make([]timing.Tick, s.fe.count())
+	for i, c := range s.fe.cores {
 		startNow[i] = c.Now
 	}
 	s.measuring = true
 	if s.cfg.TelemetryInterval > 0 {
-		s.tel = newTelemetry(s.cfg.TelemetryInterval, start, s.maxCoreNow())
+		s.tel = newTelemetry(s.cfg.TelemetryInterval, start, s.fe.maxNow())
 	}
 	s.phase(s.cfg.MeasureInstr)
-	for _, c := range s.cores {
-		c.Drain()
-	}
+	s.fe.drain()
 	s.measuring = false
 	s.auditSweep() // run end
 	end := s.rawTotals()
 	d := end.sub(start)
 
-	var maxElapsed, sumElapsed float64
-	for i, c := range s.cores {
-		e := c.Now - startNow[i]
-		sumElapsed += e
-		if e > maxElapsed {
+	var maxElapsed timing.Tick
+	for i, c := range s.fe.cores {
+		if e := c.Now - startNow[i]; e > maxElapsed {
 			maxElapsed = e
 		}
 	}
@@ -198,8 +166,8 @@ func (s *System) run() Metrics {
 		Cores:        s.cfg.Cores,
 		Seed:         s.cfg.Seed,
 		Instructions: d.instr,
-		Cycles:       maxElapsed,
-		Seconds:      maxElapsed / (s.cfg.ClockGHz * 1e9),
+		Cycles:       maxElapsed.Cycles(),
+		Seconds:      maxElapsed.Cycles() / (s.cfg.ClockGHz * 1e9),
 		L1IAccesses:  d.l1iAcc, L1IMisses: d.l1iMiss,
 		L1DAccesses: d.l1dAcc, L1DMisses: d.l1dMiss,
 		L2Accesses: d.l2Acc, L2Misses: d.l2Miss,
@@ -209,18 +177,18 @@ func (s *System) run() Metrics {
 		MemFetches:           d.memFetches,
 		MemWritebacks:        d.memWritebacks,
 		OffChipBytes:         d.linkBytes,
-		LinkQueueDelay:       d.linkQDelay,
-		DRAMQueueDelay:       d.dramQDelay,
+		LinkQueueDelay:       d.linkQDelay.Cycles(),
+		DRAMQueueDelay:       d.dramQDelay.Cycles(),
 		StoreUpgrades:        d.storeUpgrades,
 		DirtyForwards:        d.dirtyForwards,
 		Invalidations:        d.invals,
-		Adaptive:             AdaptiveMetrics{Useful: d.adUseful, Useless: d.adUseless, Harmful: d.adHarmful, FinalCapL2: s.adL2.Cap()},
+		Adaptive:             AdaptiveMetrics{Useful: d.adUseful, Useless: d.adUseless, Harmful: d.adHarmful, FinalCapL2: s.fe.adL2.Cap()},
 		MissProfile:          s.missProfile,
 	}
 	if maxElapsed > 0 {
-		m.IPC = float64(d.instr) / maxElapsed
+		m.IPC = float64(d.instr) / maxElapsed.Cycles()
 		m.BandwidthGBps = float64(d.linkBytes) / 1e9 / m.Seconds
-		m.LinkUtilization = d.linkBusy / maxElapsed
+		m.LinkUtilization = float64(d.linkBusy) / float64(maxElapsed)
 	}
 	if d.l2Acc > 0 {
 		m.L2MissRate = float64(d.l2Miss) / float64(d.l2Acc)
@@ -229,11 +197,11 @@ func (s *System) run() Metrics {
 		m.L2MissesPerKI = float64(d.l2Miss) * 1000 / float64(d.instr)
 	}
 	if d.effSizeN > 0 {
-		m.EffectiveL2Bytes = d.effSizeSum / float64(d.effSizeN)
+		m.EffectiveL2Bytes = float64(d.effSizeSum) / float64(d.effSizeN)
 		m.CompressionRatio = m.EffectiveL2Bytes / float64(s.cfg.L2Bytes)
 	}
 	if d.hitLatN > 0 {
-		m.MeanL2HitLatency = d.hitLatSum / float64(d.hitLatN)
+		m.MeanL2HitLatency = d.hitLatSum.Cycles() / float64(d.hitLatN)
 	}
 	for src := 0; src < 4; src++ {
 		m.Engines[src] = EngineMetrics{
@@ -244,9 +212,9 @@ func (s *System) run() Metrics {
 			StreamAllocs: d.pfAllocs[src],
 		}
 	}
-	for c := range s.cores {
-		m.Adaptive.FinalCapL1I += float64(s.adL1I[c].Cap()) / float64(len(s.cores))
-		m.Adaptive.FinalCapL1D += float64(s.adL1D[c].Cap()) / float64(len(s.cores))
+	for c := range s.fe.cores {
+		m.Adaptive.FinalCapL1I += float64(s.fe.adL1I[c].Cap()) / float64(s.fe.count())
+		m.Adaptive.FinalCapL1D += float64(s.fe.adL1D[c].Cap()) / float64(s.fe.count())
 	}
 	m.Engines[coherence.PfL1I].DemandMisses = d.l1iMiss
 	m.Engines[coherence.PfL1D].DemandMisses = d.l1dMiss
@@ -262,20 +230,12 @@ func (s *System) phase(n uint64) {
 	if n == 0 {
 		return
 	}
-	targets := make([]uint64, len(s.gens))
-	for i, g := range s.gens {
+	targets := make([]uint64, s.fe.count())
+	for i, g := range s.fe.gens {
 		targets[i] = g.Instructions + n
 	}
 	for {
-		c := -1
-		for i := range s.cores {
-			if s.gens[i].Instructions >= targets[i] {
-				continue
-			}
-			if c == -1 || s.cores[i].Now < s.cores[c].Now {
-				c = i
-			}
-		}
+		c := s.fe.nextCore(targets)
 		if c == -1 {
 			return
 		}
@@ -295,8 +255,8 @@ func (s *System) step(c int) {
 			s.pruneInflight()
 		}
 	}
-	g := s.gens[c]
-	core := s.cores[c]
+	g := s.fe.gens[c]
+	core := s.fe.cores[c]
 	g.Next(&s.ref)
 	core.Advance(uint64(s.ref.Gap))
 	if s.tel != nil {
@@ -319,30 +279,30 @@ func (s *System) step(c int) {
 	r := s.h.Access(c, kind, addr)
 
 	// Adaptive-controller events and per-engine attribution.
-	ad := s.adL1D[c]
-	eng := s.engL1D[c]
+	ad := s.fe.adL1D[c]
+	eng := s.fe.engL1D[c]
 	if kind == coherence.IFetch {
-		ad = s.adL1I[c]
-		eng = s.engL1I[c]
+		ad = s.fe.adL1I[c]
+		eng = s.fe.engL1I[c]
 	}
 	partial := s.resolveInflight(addr, now, r)
 	if r.L1PrefetchHit {
 		ad.Useful()
 	}
 	if r.L2PrefetchHit {
-		s.adL2.Useful()
+		s.fe.adL2.Useful()
 	}
 	for i := 0; i < r.L1UselessEvict; i++ {
 		ad.Useless()
 	}
 	for i := 0; i < r.L2UselessEvict; i++ {
-		s.adL2.Useless()
+		s.fe.adL2.Useless()
 	}
 	if r.L1Harmful {
 		ad.Harmful()
 	}
 	if r.L2Harmful {
-		s.adL2.Harmful()
+		s.fe.adL2.Harmful()
 	}
 
 	// Timing.
@@ -352,7 +312,7 @@ func (s *System) step(c int) {
 			core.IssueMiss(partial, blocking)
 		}
 	} else {
-		done := s.l2Time(now, addr, &r)
+		done := s.l2.Demand(now, addr, r)
 		if partial > done {
 			done = partial
 		}
@@ -372,8 +332,8 @@ func (s *System) step(c int) {
 
 // resolveInflight handles partial hits: the first demand reference to a
 // block whose prefetch is still in flight waits for it. Returns the
-// in-flight completion time (or 0) and updates attribution counters.
-func (s *System) resolveInflight(addr cache.BlockAddr, now float64, r coherence.AccessResult) float64 {
+// in-flight completion tick (or 0) and updates attribution counters.
+func (s *System) resolveInflight(addr cache.BlockAddr, now timing.Tick, r coherence.AccessResult) timing.Tick {
 	src := coherence.PfNone
 	if r.L1PrefetchHit {
 		src = r.L1PfBy
@@ -395,47 +355,9 @@ func (s *System) resolveInflight(addr cache.BlockAddr, now float64, r coherence.
 	return 0
 }
 
-// l2Time prices an L1-missing access: L2 bank reservation, hit latency
-// (plus decompression and dirty-forward penalties) or the full memory
-// round trip.
-func (s *System) l2Time(now float64, addr cache.BlockAddr, r *coherence.AccessResult) float64 {
-	st := s.reserveBank(addr, now)
-	if r.L2Hit {
-		lat := s.cfg.L2HitCycles
-		if r.L2CompressedHit {
-			lat += s.cfg.DecompressionCycles
-		}
-		if r.DirtyForward {
-			lat += s.cfg.L2HitCycles // retrieve data from the remote L1
-		}
-		s.hitLatSum += lat
-		s.hitLatN++
-		return st + lat
-	}
-	// Miss: the request leaves the chip after the tag lookup.
-	reqAt := st + s.cfg.L2HitCycles
-	done := s.mem.Fetch(reqAt, addr, r.FetchSegs)
-	if s.cfg.LinkCompression || s.cfg.CacheCompression {
-		done += s.cfg.DecompressionCycles
-	}
-	return done
-}
-
-// reserveBank applies the L2 bank occupancy model and returns the cycle
-// the bank starts serving the request.
-func (s *System) reserveBank(addr cache.BlockAddr, now float64) float64 {
-	bank := int(uint64(addr) % uint64(len(s.bankBusy)))
-	st := now
-	if s.bankBusy[bank] > st {
-		st = s.bankBusy[bank]
-	}
-	s.bankBusy[bank] = st + s.cfg.L2BankOccupancy
-	return st
-}
-
 // drivePrefetchers feeds the three engines with this access and issues
 // whatever they request.
-func (s *System) drivePrefetchers(c int, kind coherence.Kind, addr cache.BlockAddr, now float64, r *coherence.AccessResult, eng prefetch.Prefetcher) {
+func (s *System) drivePrefetchers(c int, kind coherence.Kind, addr cache.BlockAddr, now timing.Tick, r *coherence.AccessResult, eng prefetch.Prefetcher) {
 	src := coherence.PfL1D
 	if kind == coherence.IFetch {
 		src = coherence.PfL1I
@@ -448,7 +370,7 @@ func (s *System) drivePrefetchers(c int, kind coherence.Kind, addr cache.BlockAd
 		if eng.Allocations() > allocs {
 			s.pfAllocsDelta(src)
 			// An L1 stream triggers an L2 stream along the same stride.
-			l2reqs := s.engL2[c].TriggerStream(addr, eng.StreamStride())
+			l2reqs := s.fe.engL2[c].TriggerStream(addr, eng.StreamStride())
 			if len(l2reqs) > 0 {
 				s.pfAllocsDelta(coherence.PfL2)
 			}
@@ -460,7 +382,7 @@ func (s *System) drivePrefetchers(c int, kind coherence.Kind, addr cache.BlockAd
 
 	// L2 engine sees the L2-level reference stream (L1 misses).
 	if !r.L1Hit {
-		l2eng := s.engL2[c]
+		l2eng := s.fe.engL2[c]
 		l2reqs := l2eng.OnAccess(addr)
 		if len(l2reqs) == 0 && !r.L2Hit {
 			allocs := l2eng.Allocations()
@@ -480,14 +402,14 @@ func (s *System) pfAllocsDelta(src coherence.PfSource) {
 
 // issueL1Prefetches sends L1 prefetch fills through the hierarchy with
 // full timing (bank, link, DRAM) and in-flight tracking.
-func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfSource, now float64, reqs []cache.BlockAddr) {
+func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfSource, now timing.Tick, reqs []cache.BlockAddr) {
 	pfKind := coherence.Load
 	if kind == coherence.IFetch {
 		pfKind = coherence.IFetch
 	}
-	ad := s.adL1D[c]
+	ad := s.fe.adL1D[c]
 	if kind == coherence.IFetch {
-		ad = s.adL1I[c]
+		ad = s.fe.adL1I[c]
 	}
 	for _, a := range reqs {
 		out := s.h.PrefetchL1(c, pfKind, a, src)
@@ -505,22 +427,9 @@ func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfS
 			} else {
 				s.pfHits[out.L2PfBy]++
 			}
-			s.adL2.Useful()
+			s.fe.adL2.Useful()
 		}
-		var done float64
-		st := s.reserveBank(a, now)
-		if out.MemFetch {
-			done = s.mem.Fetch(st+s.cfg.L2HitCycles, a, out.FetchSegs)
-			if s.cfg.LinkCompression || s.cfg.CacheCompression {
-				done += s.cfg.DecompressionCycles
-			}
-		} else {
-			lat := s.cfg.L2HitCycles
-			if out.L2Compressed {
-				lat += s.cfg.DecompressionCycles
-			}
-			done = st + lat
-		}
+		done := s.l2.FillForL1(now, a, out)
 		for _, wb := range out.Writebacks {
 			s.auditWriteback(now, wb)
 		}
@@ -529,13 +438,13 @@ func (s *System) issueL1Prefetches(c int, kind coherence.Kind, src coherence.PfS
 			ad.Useless()
 		}
 		for i := 0; i < out.L2UselessEvict; i++ {
-			s.adL2.Useless()
+			s.fe.adL2.Useless()
 		}
 	}
 }
 
 // issueL2Prefetches sends L2 prefetch fills to memory.
-func (s *System) issueL2Prefetches(c int, now float64, reqs []cache.BlockAddr) {
+func (s *System) issueL2Prefetches(c int, now timing.Tick, reqs []cache.BlockAddr) {
 	for _, a := range reqs {
 		out := s.h.PrefetchL2(c, a, coherence.PfL2)
 		if out.AlreadyPresent {
@@ -543,14 +452,13 @@ func (s *System) issueL2Prefetches(c int, now float64, reqs []cache.BlockAddr) {
 			continue
 		}
 		s.pfIssued[coherence.PfL2]++
-		st := s.reserveBank(a, now)
-		done := s.mem.Fetch(st+s.cfg.L2HitCycles, a, out.FetchSegs)
+		done := s.l2.FillForL2(now, a, out.FetchSegs)
 		for _, wb := range out.Writebacks {
 			s.auditWriteback(now, wb)
 		}
 		s.inflight[a] = done
 		for i := 0; i < out.L2UselessEvict; i++ {
-			s.adL2.Useless()
+			s.fe.adL2.Useless()
 		}
 	}
 }
@@ -561,18 +469,13 @@ func (s *System) sampleEffectiveSize() {
 	if !s.measuring {
 		return
 	}
-	s.effSizeSum += float64(s.h.L2.ValidLines() * cache.LineBytes)
+	s.effSizeSum += uint64(s.h.L2.ValidLines() * cache.LineBytes)
 	s.effSizeN++
 }
 
 // pruneInflight drops completed in-flight entries so the map stays small.
 func (s *System) pruneInflight() {
-	minNow := s.cores[0].Now
-	for _, c := range s.cores[1:] {
-		if c.Now < minNow {
-			minNow = c.Now
-		}
-	}
+	minNow := s.fe.minNow()
 	for a, t := range s.inflight {
 		if t < minNow {
 			delete(s.inflight, a)
@@ -583,17 +486,17 @@ func (s *System) pruneInflight() {
 // rawTotals snapshots every cumulative counter.
 func (s *System) rawTotals() totals {
 	var t totals
-	for i := range s.cores {
-		t.instr += s.gens[i].Instructions
+	for i := range s.fe.cores {
+		t.instr += s.fe.gens[i].Instructions
 		st := &s.h.L1I[i].Stats
 		t.l1iAcc += st.Accesses
 		t.l1iMiss += st.Misses
 		sd := &s.h.L1D[i].Stats
 		t.l1dAcc += sd.Accesses
 		t.l1dMiss += sd.Misses
-		t.adUseful += s.adL1I[i].UsefulEvents + s.adL1D[i].UsefulEvents
-		t.adUseless += s.adL1I[i].UselessEvents + s.adL1D[i].UselessEvents
-		t.adHarmful += s.adL1I[i].HarmfulEvents + s.adL1D[i].HarmfulEvents
+		t.adUseful += s.fe.adL1I[i].UsefulEvents + s.fe.adL1D[i].UsefulEvents
+		t.adUseless += s.fe.adL1I[i].UselessEvents + s.fe.adL1D[i].UselessEvents
+		t.adHarmful += s.fe.adL1I[i].HarmfulEvents + s.fe.adL1D[i].HarmfulEvents
 	}
 	l2 := s.h.L2.BaseStats()
 	t.l2Acc = l2.Accesses
@@ -601,19 +504,18 @@ func (s *System) rawTotals() totals {
 	t.l2Evict = l2.Evictions
 	t.l2Useless = l2.UselessPf
 	t.l2ComprHits = s.h.L2.CompressedHitCount()
-	t.adUseful += s.adL2.UsefulEvents
-	t.adUseless += s.adL2.UselessEvents
-	t.adHarmful += s.adL2.HarmfulEvents
+	t.adUseful += s.fe.adL2.UsefulEvents
+	t.adUseless += s.fe.adL2.UselessEvents
+	t.adHarmful += s.fe.adL2.HarmfulEvents
 	t.memFetches = s.mem.Fetches
 	t.memWritebacks = s.mem.Writebacks
 	t.linkBytes = s.mem.Data.TotalBytes // demand metric: data-bus bytes (addresses ride separate pins)
-	t.linkBusy = s.mem.DataBusyCycles()
-	t.linkQDelay = s.mem.Data.QueueDelay
+	t.linkBusy = s.mem.DataBusyTicks()
+	t.linkQDelay = s.mem.Data.QueueDelay()
 	t.dramQDelay = s.mem.DRAMWaits
 	t.effSizeSum = s.effSizeSum
 	t.effSizeN = s.effSizeN
-	t.hitLatSum = s.hitLatSum
-	t.hitLatN = s.hitLatN
+	t.hitLatSum, t.hitLatN = s.l2s.hitStats()
 	t.pfIssued = s.pfIssued
 	t.pfHits = s.pfHits
 	t.pfPartial = s.pfPartial

@@ -1,5 +1,7 @@
 package sim
 
+import "cmpsim/internal/timing"
+
 // Interval telemetry: the windowed-snapshot machinery (totals/sub) that
 // already produces the end-of-run measurement-window Metrics, applied at
 // a finer grain. When Config.TelemetryInterval > 0, the measurement
@@ -55,12 +57,12 @@ type telemetry struct {
 
 	startInstr uint64 // totals.instr at measurement start
 	prev       totals
-	prevMaxNow float64
+	prevMaxNow timing.Tick
 
 	samples []IntervalSample
 }
 
-func newTelemetry(interval uint64, start totals, startMaxNow float64) *telemetry {
+func newTelemetry(interval uint64, start totals, startMaxNow timing.Tick) *telemetry {
 	return &telemetry{
 		interval:   interval,
 		next:       interval,
@@ -68,18 +70,6 @@ func newTelemetry(interval uint64, start totals, startMaxNow float64) *telemetry
 		prev:       start,
 		prevMaxNow: startMaxNow,
 	}
-}
-
-// maxCoreNow returns the furthest-ahead core clock, the simulator's
-// notion of elapsed wall time (Metrics.Cycles uses the same basis).
-func (s *System) maxCoreNow() float64 {
-	max := s.cores[0].Now
-	for _, c := range s.cores[1:] {
-		if c.Now > max {
-			max = c.Now
-		}
-	}
-	return max
 }
 
 // tick advances the telemetry instruction count after one step and
@@ -104,36 +94,36 @@ func (s *System) recordSample(now totals) {
 	t := s.tel
 	d := now.sub(t.prev)
 	maxNow := s.maxCoreNow()
-	cycles := maxNow - t.prevMaxNow
+	elapsed := maxNow - t.prevMaxNow
 
 	smp := IntervalSample{
 		Index:          len(t.samples),
 		EndInstr:       now.instr - t.startInstr,
 		Instructions:   d.instr,
-		Cycles:         cycles,
+		Cycles:         elapsed.Cycles(),
 		L2Accesses:     d.l2Acc,
 		L2Misses:       d.l2Miss,
 		OffChipBytes:   d.linkBytes,
-		LinkQueueDelay: d.linkQDelay,
-		DRAMQueueDelay: d.dramQDelay,
+		LinkQueueDelay: d.linkQDelay.Cycles(),
+		DRAMQueueDelay: d.dramQDelay.Cycles(),
 		PfIssued:       d.pfIssued,
 		PfHits:         d.pfHits,
-		CapL2:          s.adL2.Cap(),
+		CapL2:          s.fe.adL2.Cap(),
 	}
-	if cycles > 0 {
-		smp.IPC = float64(d.instr) / cycles
-		smp.LinkUtilization = d.linkBusy / cycles
+	if elapsed > 0 {
+		smp.IPC = float64(d.instr) / elapsed.Cycles()
+		smp.LinkUtilization = float64(d.linkBusy) / float64(elapsed)
 	}
 	if d.l2Acc > 0 {
 		smp.L2MissRate = float64(d.l2Miss) / float64(d.l2Acc)
 	}
 	if d.effSizeN > 0 {
-		smp.CompressionRatio = d.effSizeSum / float64(d.effSizeN) / float64(s.cfg.L2Bytes)
+		smp.CompressionRatio = float64(d.effSizeSum) / float64(d.effSizeN) / float64(s.cfg.L2Bytes)
 	} else if n := len(t.samples); n > 0 {
 		smp.CompressionRatio = t.samples[n-1].CompressionRatio
 	}
 	if d.hitLatN > 0 {
-		smp.MeanL2HitLatency = d.hitLatSum / float64(d.hitLatN)
+		smp.MeanL2HitLatency = d.hitLatSum.Cycles() / float64(d.hitLatN)
 	}
 	if d.instr > 0 {
 		for i := range smp.PfRate {
@@ -145,9 +135,9 @@ func (s *System) recordSample(now totals) {
 			smp.PfAccuracy[i] = float64(d.pfHits[i]) / float64(d.pfIssued[i])
 		}
 	}
-	for c := range s.cores {
-		smp.CapL1I += float64(s.adL1I[c].Cap()) / float64(len(s.cores))
-		smp.CapL1D += float64(s.adL1D[c].Cap()) / float64(len(s.cores))
+	for c := range s.fe.cores {
+		smp.CapL1I += float64(s.fe.adL1I[c].Cap()) / float64(s.fe.count())
+		smp.CapL1D += float64(s.fe.adL1D[c].Cap()) / float64(s.fe.count())
 	}
 
 	t.samples = append(t.samples, smp)
@@ -169,7 +159,7 @@ func (s *System) finishTelemetry(end totals) []IntervalSample {
 	} else if extra := s.maxCoreNow() - t.prevMaxNow; extra > 0 {
 		last := &t.samples[len(t.samples)-1]
 		busyIn := last.LinkUtilization * last.Cycles
-		last.Cycles += extra
+		last.Cycles += extra.Cycles()
 		last.IPC = float64(last.Instructions) / last.Cycles
 		last.LinkUtilization = busyIn / last.Cycles
 	}

@@ -11,7 +11,7 @@ func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
-	if s.N != 8 || s.Mean != 5 {
+	if s.N != 8 || !approx(s.Mean, 5, 1e-12) {
 		t.Fatalf("sample %+v", s)
 	}
 	if !approx(s.StdDev, 2.138, 0.001) {
@@ -27,7 +27,7 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 		t.Fatalf("empty sample %+v", s)
 	}
 	s := Summarize([]float64{3.5})
-	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.CI95() != 0 {
+	if s.N != 1 || !approx(s.Mean, 3.5, 1e-12) || s.StdDev != 0 || s.CI95() != 0 {
 		t.Fatalf("single sample %+v", s)
 	}
 }
@@ -91,10 +91,10 @@ func TestCI95KnownCase(t *testing.T) {
 
 func TestSpeedupAndPct(t *testing.T) {
 	sp := Speedup(200, 100)
-	if sp != 2 {
+	if !approx(sp, 2, 1e-12) {
 		t.Fatalf("speedup = %f", sp)
 	}
-	if SpeedupPct(sp) != 100 {
+	if !approx(SpeedupPct(sp), 100, 1e-12) {
 		t.Fatalf("pct = %f", SpeedupPct(sp))
 	}
 	if !approx(SpeedupPct(Speedup(100, 125)), -20, 1e-9) {
@@ -144,7 +144,7 @@ func TestRatioAndPct(t *testing.T) {
 	if Ratio(1, 0) != 0 || Pct(1, 0) != 0 {
 		t.Fatal("division by zero must yield 0")
 	}
-	if Pct(1, 4) != 25 {
+	if !approx(Pct(1, 4), 25, 1e-12) {
 		t.Fatalf("pct = %f", Pct(1, 4))
 	}
 }
@@ -168,7 +168,7 @@ func TestMedian(t *testing.T) {
 	if Median([]float64{3, 1, 2}) != 2 {
 		t.Fatal("odd median")
 	}
-	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+	if !approx(Median([]float64{4, 1, 2, 3}), 2.5, 1e-12) {
 		t.Fatal("even median")
 	}
 	if Median(nil) != 0 {

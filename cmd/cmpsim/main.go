@@ -15,6 +15,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/coherence"
@@ -46,6 +48,9 @@ func main() {
 		timeline = flag.String("timeline", "", "export the interval timeline to PREFIX.jsonl and PREFIX.csv")
 		interval = flag.Uint64("interval", 0, "telemetry interval in aggregate instructions (0 = auto: 1/50 of the window when -timeline is set)")
 		check    = flag.String("check", "", "runtime self-checking: off, invariants or shadow (default: the CMPSIM_CHECK environment variable)")
+		shards   = flag.Int("shards", 0, "reference-generation worker goroutines (0 or 1 = inline; metrics are identical for any value)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		verbose  = flag.Bool("v", false, "print the full metric breakdown")
 	)
 	flag.Parse()
@@ -77,6 +82,9 @@ func main() {
 	if *l1depth < 0 || *l2depth < 0 {
 		log.Fatal("-l1depth and -l2depth must be >= 0")
 	}
+	if *shards < 0 {
+		log.Fatalf("-shards %d must be >= 0", *shards)
+	}
 	checkLevel, err := audit.ParseLevel(*check)
 	if err != nil {
 		log.Fatalf("-check: %v", err)
@@ -99,6 +107,7 @@ func main() {
 	}
 	cfg.Memory.LinkBytesPerCycle = *bwGBps / cfg.ClockGHz
 	cfg.TelemetryInterval = *interval
+	cfg.Shards = *shards
 	if *check != "" {
 		cfg.CheckLevel = checkLevel // explicit flag overrides CMPSIM_CHECK
 	}
@@ -109,9 +118,34 @@ func main() {
 		}
 	}
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+	}
 	m, err := sim.Run(cfg)
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		f.Close()
 	}
 	printMetrics(os.Stdout, m, *verbose)
 	if *timeline != "" {

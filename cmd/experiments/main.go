@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -44,7 +45,9 @@ func run() int {
 		quick      = flag.Bool("quick", false, "scaled-down runs (fast, noisier)")
 		seeds      = flag.Int("seeds", 0, "override seeds per data point")
 		workers    = flag.Int("workers", 0, "concurrent seed simulations (0 = one per CPU, 1 = serial)")
+		shards     = flag.Int("shards", 0, "reference-generation goroutines per run (0 or 1 = inline; results identical for any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		format     = flag.String("format", "text", "output format: text, json or csv (csv where supported)")
 		timeline   = flag.String("timeline", "", "directory for per-point interval-timeline exports (JSONL + CSV)")
@@ -99,6 +102,7 @@ func run() int {
 		o.Seeds = *seeds
 	}
 	o.Workers = *workers
+	o.Shards = *shards
 	o.PointTimeout = *pointTO
 	o.MaxRetries = *retries
 	o.RetryBackoff = *backoff
@@ -161,6 +165,20 @@ func run() int {
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
 		}()
 	}
 

@@ -85,6 +85,13 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// tagValid is OR-ed into a line's address to form its entry in the
+// struct-of-arrays tag mirror: valid lines store Addr|tagValid, invalid
+// ways store 0, so a lookup key (a|tagValid) can never match an invalid
+// way. Block addresses must stay below 2^63 (byte addresses below 2^69),
+// far above any simulated footprint.
+const tagValid BlockAddr = 1 << 63
+
 // SetAssoc is a conventional set-associative write-back cache with true
 // LRU replacement. Each set is ordered most-recently-used first. An
 // optional victim-tag FIFO per set records recently replaced block
@@ -92,9 +99,16 @@ func (s *Stats) MissRate() float64 {
 // without the compressed cache's extra tags (paper §5.4 notes the
 // adaptive algorithm has four extra tags per set when compression is
 // disabled).
+//
+// Tag metadata is mirrored struct-of-arrays style: tags holds one word
+// per (set, way) in LRU order, kept exactly in sync with sets, so the
+// demand-lookup scan touches one contiguous cache line per set instead
+// of striding across full Line structs.
 type SetAssoc struct {
 	sets       [][]Line
+	tags       []BlockAddr   // nsets*ways mirror: Addr|tagValid, 0 = invalid
 	victimTags [][]BlockAddr // per-set FIFO of replaced addresses
+	valid      int           // current valid-line count
 	ways       int
 	setShift   uint
 	setMask    BlockAddr
@@ -115,6 +129,7 @@ func NewSetAssoc(totalBytes, ways, victimTags int) *SetAssoc {
 	}
 	c := &SetAssoc{
 		sets:    make([][]Line, nsets),
+		tags:    make([]BlockAddr, nsets*ways),
 		ways:    ways,
 		setMask: BlockAddr(nsets - 1),
 	}
@@ -145,14 +160,25 @@ func (c *SetAssoc) CapacityBytes() int { return len(c.sets) * c.ways * LineBytes
 
 func (c *SetAssoc) setIndex(a BlockAddr) int { return int(a & c.setMask) }
 
+// findWay scans the set's tag mirror for a and returns the way index,
+// or -1. The scan touches only the contiguous tag words.
+func (c *SetAssoc) findWay(si int, a BlockAddr) int {
+	key := a | tagValid
+	tg := c.tags[si*c.ways : si*c.ways+c.ways]
+	for i, t := range tg {
+		if t == key {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup returns the line holding a, or nil, without updating LRU order
 // or statistics. The pointer stays valid until the set is next mutated.
 func (c *SetAssoc) Lookup(a BlockAddr) *Line {
-	set := c.sets[c.setIndex(a)]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			return &set[i]
-		}
+	si := c.setIndex(a)
+	if i := c.findWay(si, a); i >= 0 {
+		return &c.sets[si][i]
 	}
 	return nil
 }
@@ -165,43 +191,66 @@ func (c *SetAssoc) Lookup(a BlockAddr) *Line {
 func (c *SetAssoc) Access(a BlockAddr) (ln *Line, wasPrefetch bool, ok bool) {
 	c.Stats.Accesses++
 	si := c.setIndex(a)
-	set := c.sets[si]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			wasPrefetch = set[i].Prefetch
-			if wasPrefetch {
-				set[i].Prefetch = false
-				c.Stats.PrefetchHits++
-			}
-			c.touch(set, i)
-			c.Stats.Hits++
-			return &set[0], wasPrefetch, true
+	if i := c.findWay(si, a); i >= 0 {
+		set := c.sets[si]
+		wasPrefetch = set[i].Prefetch
+		if wasPrefetch {
+			set[i].Prefetch = false
+			c.Stats.PrefetchHits++
 		}
+		c.touch(si, i)
+		c.Stats.Hits++
+		return &set[0], wasPrefetch, true
 	}
 	c.Stats.Misses++
 	return nil, false, false
 }
 
-// touch moves set[i] to the MRU (front) position.
-func (c *SetAssoc) touch(set []Line, i int) {
+// FastHit handles the plain-hit case of a demand access in one step: the
+// line is valid, its prefetch bit is clear (no adaptive event, no L2
+// inclusion-bit bookkeeping), and a store finds it already dirty (no
+// upgrade walk). On success the hit is fully accounted (stats + LRU
+// promotion) exactly as Access would have. On failure nothing is
+// mutated — the caller must run the full access path.
+func (c *SetAssoc) FastHit(a BlockAddr, store bool) bool {
+	si := c.setIndex(a)
+	i := c.findWay(si, a)
+	if i < 0 {
+		return false
+	}
+	ln := &c.sets[si][i]
+	if ln.Prefetch || (store && !ln.Dirty) {
+		return false
+	}
+	c.Stats.Accesses++
+	c.Stats.Hits++
+	c.touch(si, i)
+	return true
+}
+
+// touch moves way i of set si to the MRU (front) position in both the
+// Line array and the tag mirror.
+func (c *SetAssoc) touch(si, i int) {
 	if i == 0 {
 		return
 	}
+	set := c.sets[si]
 	ln := set[i]
 	copy(set[1:i+1], set[0:i])
 	set[0] = ln
+	tg := c.tags[si*c.ways : si*c.ways+c.ways]
+	t := tg[i]
+	copy(tg[1:i+1], tg[0:i])
+	tg[0] = t
 }
 
 // Touch promotes a to MRU if present, without stats. It reports whether
 // the line was found.
 func (c *SetAssoc) Touch(a BlockAddr) bool {
 	si := c.setIndex(a)
-	set := c.sets[si]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			c.touch(set, i)
-			return true
-		}
+	if i := c.findWay(si, a); i >= 0 {
+		c.touch(si, i)
+		return true
 	}
 	return false
 }
@@ -214,16 +263,15 @@ func (c *SetAssoc) Fill(a BlockAddr, prefetch bool) (victim Line, inserted *Line
 	si := c.setIndex(a)
 	set := c.sets[si]
 	// Refuse duplicate fills: caller must check with Lookup first.
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
-		}
+	if c.findWay(si, a) >= 0 {
+		panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
 	}
 	c.Stats.Fills++
 	// Prefer an invalid way; otherwise evict the true LRU (last valid).
+	tg := c.tags[si*c.ways : si*c.ways+c.ways]
 	vi := -1
 	for i := len(set) - 1; i >= 0; i-- {
-		if !set[i].Valid {
+		if tg[i] == 0 {
 			vi = i
 			break
 		}
@@ -239,13 +287,16 @@ func (c *SetAssoc) Fill(a BlockAddr, prefetch bool) (victim Line, inserted *Line
 			c.Stats.UselessPf++
 		}
 		c.recordVictim(si, victim.Addr)
+	} else {
+		c.valid++
 	}
 	set[vi].reset()
 	set[vi].Addr = a
 	set[vi].Valid = true
 	set[vi].Prefetch = prefetch
 	set[vi].Segs = MaxSegs
-	c.touch(set, vi)
+	tg[vi] = a | tagValid
+	c.touch(si, vi)
 	return victim, &set[0]
 }
 
@@ -297,32 +348,22 @@ func (c *SetAssoc) AnyPrefetchInSet(a BlockAddr) bool {
 // it was (Valid=false if it was not present).
 func (c *SetAssoc) Invalidate(a BlockAddr) Line {
 	si := c.setIndex(a)
-	set := c.sets[si]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			ln := set[i]
-			c.Stats.Invals++
-			set[i].reset()
-			// Keep Addr for victim-tag purposes of plain caches too.
-			set[i].Addr = a
-			return ln
-		}
+	if i := c.findWay(si, a); i >= 0 {
+		set := c.sets[si]
+		ln := set[i]
+		c.Stats.Invals++
+		set[i].reset()
+		// Keep Addr for victim-tag purposes of plain caches too.
+		set[i].Addr = a
+		c.tags[si*c.ways+i] = 0
+		c.valid--
+		return ln
 	}
 	return Line{}
 }
 
 // ValidLines returns the number of valid lines currently cached.
-func (c *SetAssoc) ValidLines() int {
-	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (c *SetAssoc) ValidLines() int { return c.valid }
 
 // ForEachValid calls fn for every valid line. Mutating the cache inside
 // fn is not allowed.
@@ -339,12 +380,24 @@ func (c *SetAssoc) ForEachValid(fn func(*Line)) {
 // CheckInvariants validates internal consistency (audit support): no
 // duplicate valid tags, correct set mapping, uncompressed lines stored
 // at full size, invalid lines fully reset, victim-tag FIFOs within
-// bounds. It returns a description of the first violation, or "".
+// bounds, and the struct-of-arrays tag mirror plus valid-line counter
+// exactly tracking the Line array. It returns a description of the
+// first violation, or "".
 func (c *SetAssoc) CheckInvariants() string {
+	nvalid := 0
 	for si, set := range c.sets {
 		seen := map[BlockAddr]bool{}
 		for i := range set {
 			ln := &set[i]
+			want := BlockAddr(0)
+			if ln.Valid {
+				want = ln.Addr | tagValid
+				nvalid++
+			}
+			if got := c.tags[si*c.ways+i]; got != want {
+				return fmt.Sprintf("set %d way %d: tag mirror %#x desynced from line (want %#x)",
+					si, i, uint64(got), uint64(want))
+			}
 			if !ln.Valid {
 				if ln.Segs != 0 || ln.Dirty || ln.Prefetch || ln.Sharers != 0 || ln.ISharers != 0 {
 					return fmt.Sprintf("set %d way %d: invalid line not reset (segs %d dirty %v pf %v)",
@@ -364,6 +417,9 @@ func (c *SetAssoc) CheckInvariants() string {
 				return fmt.Sprintf("set %d: line %#x maps to set %d", si, uint64(ln.Addr), c.setIndex(ln.Addr))
 			}
 		}
+	}
+	if nvalid != c.valid {
+		return fmt.Sprintf("valid-line counter %d desynced from actual count %d", c.valid, nvalid)
 	}
 	return ""
 }

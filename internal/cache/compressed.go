@@ -20,10 +20,18 @@ import "fmt"
 // capacity statement ("compression can at most double the capacity",
 // "4-way to 8-way"), i.e. 32 segments per set, which also matches the
 // decoupled variable-segment cache of the ISCA 2004 paper.
+// Tag metadata is mirrored struct-of-arrays style (see SetAssoc): tagw
+// holds one word per (set, tag) in LRU order so demand lookups scan
+// contiguous memory; segsUsed and valid cache the per-set segment
+// occupancy and global valid-line count that the packing and sampling
+// paths would otherwise recompute by scanning Line structs.
 type Compressed struct {
-	sets     [][]Line // ordered MRU first; invalid tags keep stale Addr
-	tags     int      // tags per set
-	dataSegs int      // data segments per set
+	sets     [][]Line    // ordered MRU first; invalid tags keep stale Addr
+	tagw     []BlockAddr // nsets*tags mirror: Addr|tagValid, 0 = invalid
+	segsUsed []int32     // per-set occupied data segments
+	valid    int         // current valid-line count
+	tags     int         // tags per set
+	dataSegs int         // data segments per set
 	setMask  BlockAddr
 	Stats    Stats
 
@@ -48,6 +56,8 @@ func NewCompressed(dataBytes, tagsPerSet, dataSegsPerSet int) *Compressed {
 	checkPow2(nsets, "compressed cache set count")
 	c := &Compressed{
 		sets:     make([][]Line, nsets),
+		tagw:     make([]BlockAddr, nsets*tagsPerSet),
+		segsUsed: make([]int32, nsets),
 		tags:     tagsPerSet,
 		dataSegs: dataSegsPerSet,
 		setMask:  BlockAddr(nsets - 1),
@@ -78,25 +88,25 @@ func (c *Compressed) CapacityBytes() int {
 
 func (c *Compressed) setIndex(a BlockAddr) int { return int(a & c.setMask) }
 
-// usedSegs returns the segments currently occupied by valid lines in set.
-func usedSegs(set []Line) int {
-	n := 0
-	for i := range set {
-		if set[i].Valid {
-			n += int(set[i].Segs)
+// findWay scans the set's tag mirror for a valid line holding a and
+// returns the tag index, or -1.
+func (c *Compressed) findWay(si int, a BlockAddr) int {
+	key := a | tagValid
+	tg := c.tagw[si*c.tags : si*c.tags+c.tags]
+	for i, t := range tg {
+		if t == key {
+			return i
 		}
 	}
-	return n
+	return -1
 }
 
 // Lookup returns the valid line for a, or nil, without LRU or stats
 // side effects.
 func (c *Compressed) Lookup(a BlockAddr) *Line {
-	set := c.sets[c.setIndex(a)]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			return &set[i]
-		}
+	si := c.setIndex(a)
+	if i := c.findWay(si, a); i >= 0 {
+		return &c.sets[si][i]
 	}
 	return nil
 }
@@ -107,45 +117,47 @@ func (c *Compressed) Lookup(a BlockAddr) *Line {
 func (c *Compressed) Access(a BlockAddr) (ln *Line, wasPrefetch, compressed, ok bool) {
 	c.Stats.Accesses++
 	si := c.setIndex(a)
-	set := c.sets[si]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			wasPrefetch = set[i].Prefetch
-			if wasPrefetch {
-				set[i].Prefetch = false
-				c.Stats.PrefetchHits++
-			}
-			compressed = set[i].Segs < MaxSegs
-			if compressed {
-				c.CompressedHits++
-			}
-			c.touch(set, i)
-			c.Stats.Hits++
-			return &set[0], wasPrefetch, compressed, true
+	if i := c.findWay(si, a); i >= 0 {
+		set := c.sets[si]
+		wasPrefetch = set[i].Prefetch
+		if wasPrefetch {
+			set[i].Prefetch = false
+			c.Stats.PrefetchHits++
 		}
+		compressed = set[i].Segs < MaxSegs
+		if compressed {
+			c.CompressedHits++
+		}
+		c.touch(si, i)
+		c.Stats.Hits++
+		return &set[0], wasPrefetch, compressed, true
 	}
 	c.Stats.Misses++
 	return nil, false, false, false
 }
 
-// touch moves set[i] to MRU position.
-func (c *Compressed) touch(set []Line, i int) {
+// touch moves tag i of set si to MRU position in both the Line array
+// and the tag mirror.
+func (c *Compressed) touch(si, i int) {
 	if i == 0 {
 		return
 	}
+	set := c.sets[si]
 	ln := set[i]
 	copy(set[1:i+1], set[0:i])
 	set[0] = ln
+	tg := c.tagw[si*c.tags : si*c.tags+c.tags]
+	t := tg[i]
+	copy(tg[1:i+1], tg[0:i])
+	tg[0] = t
 }
 
 // Touch promotes a to MRU if present.
 func (c *Compressed) Touch(a BlockAddr) bool {
-	set := c.sets[c.setIndex(a)]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			c.touch(set, i)
-			return true
-		}
+	si := c.setIndex(a)
+	if i := c.findWay(si, a); i >= 0 {
+		c.touch(si, i)
+		return true
 	}
 	return false
 }
@@ -160,17 +172,16 @@ func (c *Compressed) Fill(a BlockAddr, segs uint8, prefetch bool, vbuf []Line) (
 	}
 	si := c.setIndex(a)
 	set := c.sets[si]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
-		}
+	if c.findWay(si, a) >= 0 {
+		panic(fmt.Sprintf("cache: duplicate fill of block %#x", uint64(a)))
 	}
 	c.Stats.Fills++
-	victims = c.makeRoom(set, int(segs), vbuf)
+	victims = c.makeRoom(si, int(segs), vbuf)
 	// Claim the least-recently-used invalid tag (there is one now).
+	tg := c.tagw[si*c.tags : si*c.tags+c.tags]
 	vi := -1
 	for i := len(set) - 1; i >= 0; i-- {
-		if !set[i].Valid {
+		if tg[i] == 0 {
 			vi = i
 			break
 		}
@@ -183,28 +194,33 @@ func (c *Compressed) Fill(a BlockAddr, segs uint8, prefetch bool, vbuf []Line) (
 	set[vi].Valid = true
 	set[vi].Prefetch = prefetch
 	set[vi].Segs = segs
-	c.touch(set, vi)
+	tg[vi] = a | tagValid
+	c.segsUsed[si] += int32(segs)
+	c.valid++
+	c.touch(si, vi)
 	return victims, &set[0]
 }
 
 // makeRoom evicts LRU valid lines until the set has a free tag and at
 // least need free segments. Evicted lines are appended to vbuf.
-func (c *Compressed) makeRoom(set []Line, need int, vbuf []Line) []Line {
+func (c *Compressed) makeRoom(si, need int, vbuf []Line) []Line {
+	set := c.sets[si]
+	tg := c.tagw[si*c.tags : si*c.tags+c.tags]
 	for {
 		freeTag := false
-		for i := range set {
-			if !set[i].Valid {
+		for i := range tg {
+			if tg[i] == 0 {
 				freeTag = true
 				break
 			}
 		}
-		if freeTag && c.dataSegs-usedSegs(set) >= need {
+		if freeTag && c.dataSegs-int(c.segsUsed[si]) >= need {
 			return vbuf
 		}
 		// Evict the LRU valid line.
 		vi := -1
 		for i := len(set) - 1; i >= 0; i-- {
-			if set[i].Valid {
+			if tg[i] != 0 {
 				vi = i
 				break
 			}
@@ -223,6 +239,9 @@ func (c *Compressed) makeRoom(set []Line, need int, vbuf []Line) []Line {
 		vbuf = append(vbuf, victim)
 		set[vi].reset() // Addr retained: victim tag
 		set[vi].VictimTag = true
+		tg[vi] = 0
+		c.segsUsed[si] -= int32(victim.Segs)
+		c.valid--
 	}
 }
 
@@ -235,28 +254,24 @@ func (c *Compressed) Resize(a BlockAddr, segs uint8, vbuf []Line) (victims []Lin
 	}
 	si := c.setIndex(a)
 	set := c.sets[si]
-	idx := -1
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			idx = i
-			break
-		}
-	}
+	idx := c.findWay(si, a)
 	if idx == -1 {
 		return vbuf, false
 	}
 	old := set[idx].Segs
 	if segs <= old {
 		set[idx].Segs = segs
+		c.segsUsed[si] -= int32(old - segs)
 		return vbuf, true
 	}
 	grow := int(segs - old)
 	victims = vbuf
-	for c.dataSegs-usedSegs(set) < grow {
+	tg := c.tagw[si*c.tags : si*c.tags+c.tags]
+	for c.dataSegs-int(c.segsUsed[si]) < grow {
 		// Evict the LRU valid line other than a itself.
 		vi := -1
 		for i := len(set) - 1; i >= 0; i-- {
-			if set[i].Valid && set[i].Addr != a {
+			if tg[i] != 0 && set[i].Addr != a {
 				vi = i
 				break
 			}
@@ -277,24 +292,30 @@ func (c *Compressed) Resize(a BlockAddr, segs uint8, vbuf []Line) (victims []Lin
 		victims = append(victims, victim)
 		set[vi].reset()
 		set[vi].VictimTag = true
+		tg[vi] = 0
+		c.segsUsed[si] -= int32(victim.Segs)
+		c.valid--
 	}
 	// reset() does not reorder the set, so idx is still correct.
 	set[idx].Segs = segs
+	c.segsUsed[si] += int32(segs - old)
 	return victims, true
 }
 
 // Invalidate removes a, returning the line as it was (Valid=false if
 // absent). The invalid tag keeps the address as victim history.
 func (c *Compressed) Invalidate(a BlockAddr) Line {
-	set := c.sets[c.setIndex(a)]
-	for i := range set {
-		if set[i].Valid && set[i].Addr == a {
-			ln := set[i]
-			c.Stats.Invals++
-			set[i].reset()
-			set[i].VictimTag = true
-			return ln
-		}
+	si := c.setIndex(a)
+	if i := c.findWay(si, a); i >= 0 {
+		set := c.sets[si]
+		ln := set[i]
+		c.Stats.Invals++
+		set[i].reset()
+		set[i].VictimTag = true
+		c.tagw[si*c.tags+i] = 0
+		c.segsUsed[si] -= int32(ln.Segs)
+		c.valid--
+		return ln
 	}
 	return Line{}
 }
@@ -341,17 +362,7 @@ func (c *Compressed) AnyPrefetchInSet(a BlockAddr) bool {
 }
 
 // ValidLines returns the number of valid cached lines.
-func (c *Compressed) ValidLines() int {
-	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (c *Compressed) ValidLines() int { return c.valid }
 
 // EffectiveBytes returns the effective cache size: valid lines × 64 B.
 // With incompressible data this equals at most CapacityBytes; with
@@ -361,8 +372,8 @@ func (c *Compressed) EffectiveBytes() int { return c.ValidLines() * LineBytes }
 // UsedSegments returns the total data segments currently occupied.
 func (c *Compressed) UsedSegments() int {
 	n := 0
-	for _, set := range c.sets {
-		n += usedSegs(set)
+	for _, u := range c.segsUsed {
+		n += int(u)
 	}
 	return n
 }
@@ -381,13 +392,25 @@ func (c *Compressed) ForEachValid(fn func(*Line)) {
 
 // CheckInvariants validates internal consistency (test and audit
 // support): no duplicate valid tags in a set, segment budget respected,
-// valid lines have legal sizes, invalid tags own no segments. It
-// returns a descriptive error string, or "".
+// valid lines have legal sizes, invalid tags own no segments, and the
+// struct-of-arrays mirrors (tag words, per-set segment counts, global
+// valid-line count) exactly tracking the Line array. It returns a
+// descriptive error string, or "".
 func (c *Compressed) CheckInvariants() string {
+	nvalid := 0
 	for si, set := range c.sets {
 		used := 0
 		seen := map[BlockAddr]bool{}
 		for i := range set {
+			want := BlockAddr(0)
+			if set[i].Valid {
+				want = set[i].Addr | tagValid
+				nvalid++
+			}
+			if got := c.tagw[si*c.tags+i]; got != want {
+				return fmt.Sprintf("set %d tag %d: tag mirror %#x desynced from line (want %#x)",
+					si, i, uint64(got), uint64(want))
+			}
 			if !set[i].Valid {
 				if set[i].Segs != 0 || set[i].Dirty || set[i].Prefetch {
 					return fmt.Sprintf("set %d tag %d: invalid tag not reset (segs %d dirty %v pf %v)",
@@ -410,6 +433,12 @@ func (c *Compressed) CheckInvariants() string {
 		if used > c.dataSegs {
 			return fmt.Sprintf("set %d: %d segments used > %d budget", si, used, c.dataSegs)
 		}
+		if used != int(c.segsUsed[si]) {
+			return fmt.Sprintf("set %d: segment counter %d desynced from actual usage %d", si, c.segsUsed[si], used)
+		}
+	}
+	if nvalid != c.valid {
+		return fmt.Sprintf("valid-line counter %d desynced from actual count %d", c.valid, nvalid)
 	}
 	return ""
 }
@@ -417,9 +446,11 @@ func (c *Compressed) CheckInvariants() string {
 // InjectDuplicateTag deliberately corrupts the cache for fault-injection
 // tests: it revives an invalid tag with the address of a valid line in
 // the same set, creating the double-owned state CheckInvariants must
-// catch. It reports whether a suitable set was found.
+// catch. The struct-of-arrays mirrors are kept consistent with the
+// revived line so the duplicate-tag violation is the one that fires.
+// It reports whether a suitable set was found.
 func (c *Compressed) InjectDuplicateTag() bool {
-	for _, set := range c.sets {
+	for si, set := range c.sets {
 		vi, ii := -1, -1
 		for i := range set {
 			if set[i].Valid && vi == -1 {
@@ -435,6 +466,9 @@ func (c *Compressed) InjectDuplicateTag() bool {
 		set[ii].Valid = true
 		set[ii].Addr = set[vi].Addr
 		set[ii].Segs = 1
+		c.tagw[si*c.tags+ii] = set[ii].Addr | tagValid
+		c.segsUsed[si]++
+		c.valid++
 		return true
 	}
 	return false

@@ -191,6 +191,18 @@ func (h *Hierarchy) l1For(core int, kind Kind) *cache.SetAssoc {
 	return h.L1D[core]
 }
 
+// FastHit retires the common demand access — an L1 hit whose line has
+// no pending prefetch bit and, for stores, is already in M state — in
+// one step: stats and LRU promotion only, no AccessResult, no L2 walk,
+// no directory traffic. It returns false without side effects whenever
+// the full Access path is required (miss, prefetch-bit consumption,
+// store upgrade); the caller must then run Access, which repeats the
+// lookup. The hierarchy state and statistics after a successful FastHit
+// are bit-identical to what Access would have produced.
+func (h *Hierarchy) FastHit(core int, kind Kind, a cache.BlockAddr) bool {
+	return h.l1For(core, kind).FastHit(a, kind == Store)
+}
+
 // Access performs a demand access by core for kind at block a and
 // returns the full event record. The line ends up in the issuing L1
 // (MRU) and in the L2 (inclusion).
@@ -265,6 +277,7 @@ func (h *Hierarchy) Access(core int, kind Kind, a cache.BlockAddr) AccessResult 
 		}
 		h.vbuf = h.vbuf[:0]
 		victims, inserted := h.L2.Fill(a, segs, false, h.vbuf)
+		h.vbuf = victims // keep the grown backing array for reuse
 		h.noteL2Size(a, segs)
 		h.handleL2Victims(victims, &r)
 		l2ln = inserted
@@ -374,6 +387,7 @@ func (h *Hierarchy) fillL1(l1 *cache.SetAssoc, core int, kind Kind, a cache.Bloc
 				segs := h.clampSegs(h.size(victim.Addr))
 				h.vbuf = h.vbuf[:0]
 				victims, _ := h.L2.Resize(victim.Addr, segs, h.vbuf)
+				h.vbuf = victims
 				h.noteL2Size(victim.Addr, segs)
 				h.handleL2Victims(victims, r)
 			}
@@ -459,6 +473,7 @@ func (h *Hierarchy) PrefetchL1(core int, kind Kind, a cache.BlockAddr, by PfSour
 		}
 		h.vbuf = h.vbuf[:0]
 		victims, inserted := h.L2.Fill(a, segs, true, h.vbuf)
+		h.vbuf = victims
 		inserted.PfBy = uint8(by)
 		h.noteL2Size(a, segs)
 		h.handleL2Victims(victims, &r)
@@ -491,6 +506,7 @@ func (h *Hierarchy) PrefetchL2(core int, a cache.BlockAddr, by PfSource) Prefetc
 	var r AccessResult
 	h.vbuf = h.vbuf[:0]
 	victims, inserted := h.L2.Fill(a, segs, true, h.vbuf)
+	h.vbuf = victims
 	inserted.PfBy = uint8(by)
 	h.noteL2Size(a, segs)
 	h.handleL2Victims(victims, &r)

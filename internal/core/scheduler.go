@@ -103,12 +103,13 @@ type pointKey struct {
 }
 
 // canonicalOpts normalizes scheduling-only and aliasing fields so that
-// equivalent requests share one cache entry: Workers and the robustness
-// knobs (PointTimeout, MaxRetries, RetryBackoff) do not affect
+// equivalent requests share one cache entry: Workers, Shards and the
+// robustness knobs (PointTimeout, MaxRetries, RetryBackoff) do not affect
 // simulation results, "stride" names the engine "" already selects, and
 // DecompressionCycles is ignored by config unless DecompressionSet.
 func canonicalOpts(o Options) Options {
 	o.Workers = 0
+	o.Shards = 0
 	o.PointTimeout = 0
 	o.MaxRetries = 0
 	o.RetryBackoff = 0

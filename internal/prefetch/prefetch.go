@@ -62,13 +62,95 @@ func (c Config) validate() error {
 	return nil
 }
 
-// filterEntry tracks a candidate miss stream.
-type filterEntry struct {
-	valid  bool
-	last   cache.BlockAddr
-	stride int64 // fixed +1/-1 for the unit tables; 0 = undetermined
-	count  int
-	used   uint64 // LRU timestamp
+// Filter-table sentinels. Expected addresses are stored with expectKey
+// OR-ed in so a lookup key can never match an empty slot; undetermined
+// bases use a value whose delta from any simulated address is far
+// outside the stride bound.
+const (
+	expectKey    cache.BlockAddr = 1 << 63
+	baseSentinel cache.BlockAddr = 1 << 62
+)
+
+// filterTable tracks candidate miss streams in struct-of-arrays layout:
+// the per-miss training scan reads only the contiguous expect (or base)
+// words instead of striding across full entry structs — OnMiss runs on
+// every demand miss, making this the hottest scan in the prefetcher.
+// Entry i is valid iff used[i] != 0 (the LRU tick starts at 1).
+//
+// Replacement order is kept in an intrusive doubly-linked list (prev/
+// next/head/tail): used timestamps are assigned from a strictly
+// increasing tick, so the list tail IS the argmin the old linear LRU
+// scan computed — replacement becomes O(1) instead of an O(entries)
+// scan per unrecognized miss. used stays as the validity marker and the
+// audit cross-check of the list order.
+type filterTable struct {
+	expect []cache.BlockAddr // (last+stride)|expectKey for trainable entries, else 0
+	base   []cache.BlockAddr // last for valid undetermined entries, else baseSentinel
+	used   []uint64          // LRU timestamp; 0 = invalid
+	last   []cache.BlockAddr
+	stride []int64 // fixed +1/-1 for the unit tables; 0 = undetermined
+	count  []int32
+	next   []int16 // toward LRU; -1 ends the list
+	prev   []int16 // toward MRU; -1 ends the list
+	head   int16   // MRU entry, -1 when no entry is valid
+	tail   int16   // LRU entry, -1 when no entry is valid
+	free   int16   // invalid-entry count
+}
+
+func newFilterTable(n int) filterTable {
+	t := filterTable{
+		expect: make([]cache.BlockAddr, n),
+		base:   make([]cache.BlockAddr, n),
+		used:   make([]uint64, n),
+		last:   make([]cache.BlockAddr, n),
+		stride: make([]int64, n),
+		count:  make([]int32, n),
+		next:   make([]int16, n),
+		prev:   make([]int16, n),
+		head:   -1,
+		tail:   -1,
+		free:   int16(n),
+	}
+	for i := range t.base {
+		t.base[i] = baseSentinel
+	}
+	return t
+}
+
+// unlink removes entry i from the replacement list.
+func (t *filterTable) unlink(i int16) {
+	p, n := t.prev[i], t.next[i]
+	if p >= 0 {
+		t.next[p] = n
+	} else {
+		t.head = n
+	}
+	if n >= 0 {
+		t.prev[n] = p
+	} else {
+		t.tail = p
+	}
+}
+
+// pushHead links entry i at the MRU position.
+func (t *filterTable) pushHead(i int16) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = i
+	} else {
+		t.tail = i
+	}
+	t.head = i
+}
+
+// refresh moves a just-touched valid entry to the MRU position.
+func (t *filterTable) refresh(i int16) {
+	if t.head == i {
+		return
+	}
+	t.unlink(i)
+	t.pushHead(i)
 }
 
 // streamEntry is an active prefetch stream.
@@ -91,9 +173,9 @@ type Stats struct {
 // Engine is one stride prefetcher.
 type Engine struct {
 	cfg        Config
-	pos        []filterEntry // positive unit stride
-	neg        []filterEntry // negative unit stride
-	nonunit    []filterEntry
+	pos        filterTable // positive unit stride
+	neg        filterTable // negative unit stride
+	nonunit    filterTable
 	streams    []streamEntry
 	tick       uint64
 	cap        func() int // adaptive startup cap; nil = always cfg.StartupDepth
@@ -109,9 +191,9 @@ func New(cfg Config) *Engine {
 	}
 	return &Engine{
 		cfg:     cfg,
-		pos:     make([]filterEntry, cfg.FilterEntries),
-		neg:     make([]filterEntry, cfg.FilterEntries),
-		nonunit: make([]filterEntry, cfg.FilterEntries),
+		pos:     newFilterTable(cfg.FilterEntries),
+		neg:     newFilterTable(cfg.FilterEntries),
+		nonunit: newFilterTable(cfg.FilterEntries),
 		streams: make([]streamEntry, cfg.StreamEntries),
 	}
 }
@@ -179,31 +261,47 @@ func advance(a cache.BlockAddr, stride int64) cache.BlockAddr {
 func (e *Engine) OnMiss(a cache.BlockAddr) []cache.BlockAddr {
 	e.tick++
 	e.reqbuf = e.reqbuf[:0]
-	if e.train(e.pos, a, 1) || e.train(e.neg, a, -1) || e.trainNonUnit(a) {
+	if e.train(&e.pos, a) || e.train(&e.neg, a) || e.trainNonUnit(a) {
 		return e.reqbuf
 	}
 	// No table recognized the miss: allocate fresh candidates.
-	e.alloc(e.pos, a, 1)
-	e.alloc(e.neg, a, -1)
-	e.alloc(e.nonunit, a, 0)
+	e.alloc(&e.pos, a, 1)
+	e.alloc(&e.neg, a, -1)
+	e.alloc(&e.nonunit, a, 0)
 	return e.reqbuf
 }
 
-// train strengthens a unit-stride filter entry expecting address a.
-func (e *Engine) train(table []filterEntry, a cache.BlockAddr, stride int64) bool {
-	for i := range table {
-		f := &table[i]
-		if f.valid && advance(f.last, stride) == a {
-			f.last = a
-			f.count++
-			f.used = e.tick
-			e.Stats.FilterHits++
-			if f.count >= e.cfg.TrainThreshold {
-				f.valid = false
-				e.allocStream(a, stride)
-			}
-			return true
+// clear invalidates filter entry i.
+func (t *filterTable) clear(i int) {
+	t.used[i] = 0
+	t.expect[i] = 0
+	t.base[i] = baseSentinel
+	t.unlink(int16(i))
+	t.free++
+}
+
+// train strengthens a filter entry expecting address a (any table whose
+// entries carry an established stride). The scan touches only the
+// contiguous expected-address words.
+func (e *Engine) train(t *filterTable, a cache.BlockAddr) bool {
+	key := a | expectKey
+	for i, x := range t.expect {
+		if x != key {
+			continue
 		}
+		t.last[i] = a
+		t.count[i]++
+		t.used[i] = e.tick
+		e.Stats.FilterHits++
+		if t.count[i] >= int32(e.cfg.TrainThreshold) {
+			stride := t.stride[i]
+			t.clear(i)
+			e.allocStream(a, stride)
+		} else {
+			t.expect[i] = advance(a, t.stride[i]) | expectKey
+			t.refresh(int16(i))
+		}
+		return true
 	}
 	return false
 }
@@ -211,51 +309,67 @@ func (e *Engine) train(table []filterEntry, a cache.BlockAddr, stride int64) boo
 // trainNonUnit handles the variable-stride table: the first pair of
 // misses establishes the candidate stride; later misses strengthen it.
 func (e *Engine) trainNonUnit(a cache.BlockAddr) bool {
-	for i := range e.nonunit {
-		f := &e.nonunit[i]
-		if f.valid && f.stride != 0 && advance(f.last, f.stride) == a {
-			f.last = a
-			f.count++
-			f.used = e.tick
-			e.Stats.FilterHits++
-			if f.count >= e.cfg.TrainThreshold {
-				f.valid = false
-				e.allocStream(a, f.stride)
-			}
-			return true
-		}
+	if e.train(&e.nonunit, a) {
+		return true
 	}
-	// Second chance: derive a stride from an undetermined entry.
-	for i := range e.nonunit {
-		f := &e.nonunit[i]
-		if f.valid && f.stride == 0 {
-			d := int64(a) - int64(f.last)
-			if d >= 2 && d <= int64(e.cfg.MaxStride) || d <= -2 && d >= -int64(e.cfg.MaxStride) {
-				f.stride = d
-				f.last = a
-				f.count = 2
-				f.used = e.tick
-				e.Stats.FilterHits++
-				return true
-			}
+	// Second chance: derive a stride from an undetermined entry. The
+	// scan prefilters with one wrapping subtract per entry: b is a
+	// candidate only if it lies in the window [a-MaxStride, a+MaxStride],
+	// i.e. b-(a-MaxStride) <= 2*MaxStride unsigned (the sentinel always
+	// fails). The exact two-sided stride check runs on the rare survivors.
+	t := &e.nonunit
+	maxStride := int64(e.cfg.MaxStride)
+	lo := a - cache.BlockAddr(maxStride)
+	window := uint64(2 * maxStride)
+	for i, b := range t.base {
+		if uint64(b-lo) > window {
+			continue
+		}
+		d := int64(a) - int64(b)
+		if d >= 2 && d <= maxStride || d <= -2 && d >= -maxStride {
+			t.stride[i] = d
+			t.last[i] = a
+			t.count[i] = 2
+			t.used[i] = e.tick
+			t.expect[i] = advance(a, d) | expectKey
+			t.base[i] = baseSentinel
+			t.refresh(int16(i))
+			e.Stats.FilterHits++
+			return true
 		}
 	}
 	return false
 }
 
-// alloc installs a new filter candidate, replacing the LRU entry.
-func (e *Engine) alloc(table []filterEntry, a cache.BlockAddr, stride int64) {
-	vi := 0
-	for i := range table {
-		if !table[i].valid {
-			vi = i
-			break
+// alloc installs a new filter candidate, replacing the lowest-indexed
+// invalid entry when one exists (rare: entries only vacate on stream
+// allocation), otherwise the list-tail LRU entry in O(1).
+func (e *Engine) alloc(t *filterTable, a cache.BlockAddr, stride int64) {
+	var vi int
+	if t.free > 0 {
+		for i, u := range t.used {
+			if u == 0 {
+				vi = i
+				break
+			}
 		}
-		if table[i].used < table[vi].used {
-			vi = i
-		}
+		t.free--
+		t.pushHead(int16(vi))
+	} else {
+		vi = int(t.tail)
+		t.refresh(t.tail)
 	}
-	table[vi] = filterEntry{valid: true, last: a, stride: stride, count: 1, used: e.tick}
+	t.last[vi] = a
+	t.stride[vi] = stride
+	t.count[vi] = 1
+	t.used[vi] = e.tick
+	if stride != 0 {
+		t.expect[vi] = advance(a, stride) | expectKey
+		t.base[vi] = baseSentinel
+	} else {
+		t.expect[vi] = 0
+		t.base[vi] = a
+	}
 }
 
 // allocStream installs a stream (LRU replacement) and queues its startup
@@ -373,18 +487,53 @@ func (e *Engine) CheckInvariants() string {
 				i, uint64(s.nextPf), uint64(s.nextDemand), s.stride)
 		}
 	}
-	for _, tb := range [][]filterEntry{e.pos, e.neg, e.nonunit} {
-		for i := range tb {
-			f := &tb[i]
-			if !f.valid {
+	for _, t := range []*filterTable{&e.pos, &e.neg, &e.nonunit} {
+		for i, u := range t.used {
+			if u == 0 {
+				// Invalid entries must carry cleared scan words so they can
+				// never match a training lookup.
+				if t.expect[i] != 0 || t.base[i] != baseSentinel {
+					return fmt.Sprintf("filter %d: invalid entry with live scan words", i)
+				}
 				continue
 			}
-			if f.stride > int64(e.cfg.MaxStride) || f.stride < -int64(e.cfg.MaxStride) {
-				return fmt.Sprintf("filter %d: stride %d exceeds bound %d", i, f.stride, e.cfg.MaxStride)
+			if t.stride[i] > int64(e.cfg.MaxStride) || t.stride[i] < -int64(e.cfg.MaxStride) {
+				return fmt.Sprintf("filter %d: stride %d exceeds bound %d", i, t.stride[i], e.cfg.MaxStride)
 			}
-			if f.count < 1 || f.count > e.cfg.TrainThreshold {
-				return fmt.Sprintf("filter %d: count %d outside [1, %d]", i, f.count, e.cfg.TrainThreshold)
+			if t.count[i] < 1 || t.count[i] > int32(e.cfg.TrainThreshold) {
+				return fmt.Sprintf("filter %d: count %d outside [1, %d]", i, t.count[i], e.cfg.TrainThreshold)
 			}
+			// The scan word must agree with the entry it summarizes.
+			if t.stride[i] != 0 {
+				if want := advance(t.last[i], t.stride[i]) | expectKey; t.expect[i] != want {
+					return fmt.Sprintf("filter %d: expect word %#x desynced (want %#x)",
+						i, uint64(t.expect[i]), uint64(want))
+				}
+			} else if t.base[i] != t.last[i] {
+				return fmt.Sprintf("filter %d: base word %#x desynced from last %#x",
+					i, uint64(t.base[i]), uint64(t.last[i]))
+			}
+		}
+		// The replacement list must visit exactly the valid entries in
+		// strictly decreasing used order (MRU to LRU).
+		visited := 0
+		prevUsed := ^uint64(0)
+		for i := t.head; i >= 0; i = t.next[i] {
+			if t.used[i] == 0 {
+				return fmt.Sprintf("filter %d: invalid entry linked in replacement list", i)
+			}
+			if t.used[i] >= prevUsed {
+				return fmt.Sprintf("filter %d: replacement list out of LRU order", i)
+			}
+			prevUsed = t.used[i]
+			visited++
+			if visited > len(t.used) {
+				return "filter replacement list has a cycle"
+			}
+		}
+		if visited != len(t.used)-int(t.free) {
+			return fmt.Sprintf("filter replacement list links %d entries, want %d valid",
+				visited, len(t.used)-int(t.free))
 		}
 	}
 	return ""

@@ -103,6 +103,15 @@ type Config struct {
 	// "name@step" (e.g. "flip-sharer@5000"); see StateFaultNames. Test
 	// support: proves each auditor class fires. "" disables.
 	StateFault string
+
+	// Shards is the number of worker goroutines that pre-generate
+	// reference batches (capped at Cores; 0 or 1 = generate inline on
+	// the simulation goroutine). Sharding is scheduling-only: workers
+	// run ahead only on core-private generator state, bounded by the
+	// batch window, while the simulation goroutine consumes the streams
+	// in the same serial min-clock order — metrics are bit-identical
+	// for every shard count.
+	Shards int
 }
 
 // NewConfig returns the paper's baseline system (Table 1) for a
@@ -179,6 +188,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown PrefetcherKind %q", c.PrefetcherKind)
 	case !c.CheckLevel.Valid():
 		return fmt.Errorf("sim: invalid CheckLevel %d", c.CheckLevel)
+	case c.Shards < 0:
+		return fmt.Errorf("sim: Shards must be non-negative")
 	}
 	if err := c.Memory.Validate(); err != nil {
 		return err

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cmpsim/internal/audit"
+)
+
+// TestShardDeterminismMatrix pins the sharding contract: reference
+// generation on 1, 2, 4 or NumCPU worker goroutines produces Metrics
+// bit-identical to the serial path, because shard workers only run
+// ahead on core-private generator state while the simulation goroutine
+// consumes the streams in the same min-clock order (DESIGN.md,
+// "Deterministic sharding").
+func TestShardDeterminismMatrix(t *testing.T) {
+	cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+	base := run(t, cfg)
+	shards := []int{1, 2, 4, runtime.NumCPU()}
+	for _, sh := range shards {
+		sh := sh
+		t.Run(fmt.Sprintf("shards=%d", sh), func(t *testing.T) {
+			c := cfg
+			c.Shards = sh
+			m := run(t, c)
+			if !reflect.DeepEqual(m, base) {
+				t.Fatalf("shards=%d metrics differ from serial:\n got %+v\nwant %+v", sh, m, base)
+			}
+		})
+	}
+}
+
+// TestStepAllocFree is the allocation regression gate for the issue
+// loop: a warmed system must retire references — both the L1-hit fast
+// path and the full staged path — without per-step heap allocations.
+// The budget tolerates rare map growth in the data model and in-flight
+// tracker, nothing per-event.
+func TestStepAllocFree(t *testing.T) {
+	cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+	cfg.CheckLevel = audit.Off // auditing forces the slow path and allocates
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.phase(cfg.WarmupInstr)
+	targets := make([]uint64, s.fe.count())
+	for i := range targets {
+		targets[i] = ^uint64(0)
+	}
+	const steps = 20000
+	fastBefore, stepsBefore := s.fastSteps, s.steps
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < steps; i++ {
+			s.step(s.fe.nextCore(targets))
+		}
+	})
+	fast, total := s.fastSteps-fastBefore, s.steps-stepsBefore
+	if fast == 0 {
+		t.Fatal("fast path never engaged on a warmed all-mechanisms run")
+	}
+	if fast == total {
+		t.Fatal("full path never engaged: the test must cover both paths")
+	}
+	if perStep := allocs / steps; perStep > 0.02 {
+		t.Fatalf("%.4f allocs/step (%.0f over %d steps), want amortized zero",
+			perStep, allocs, steps)
+	}
+}
+
+// BenchmarkSystemRun measures a whole simulation — construction,
+// warmup, measurement, drain — end to end, the number the CI bench
+// smoke gates on (tools/benchguard). Sub-benchmarks vary the
+// generation shard count; ns/event divides wall time by retired
+// references.
+func BenchmarkSystemRun(b *testing.B) {
+	for _, sh := range []int{1, 2, 4} {
+		sh := sh
+		b.Run(fmt.Sprintf("shards=%d", sh), func(b *testing.B) {
+			cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+			cfg.Shards = sh
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				s, err := NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.run()
+				events += s.steps
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		})
+	}
+}

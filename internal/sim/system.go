@@ -43,6 +43,8 @@ type System struct {
 	pfAllocsCount                            [4]uint64
 
 	steps       uint64
+	fastSteps   uint64 // events retired via the L1-hit fast path
+	fastOK      bool   // audit off: fast path permitted (telemetry checked per step)
 	effSizeSum  uint64 // valid-line bytes summed over samples (integer: no float accumulation order)
 	effSizeN    uint64
 	measuring   bool
@@ -106,6 +108,7 @@ func NewSystem(cfg Config) (*System, error) {
 		s.missProfile = make(map[cache.BlockAddr]uint32)
 	}
 	s.initAudit(cfg)
+	s.fastOK = s.aud == nil && s.faultAt == 0
 	return s, nil
 }
 
@@ -134,7 +137,13 @@ func Run(cfg Config) (m Metrics, err error) {
 // telemetry timebase).
 func (s *System) maxCoreNow() timing.Tick { return s.fe.maxNow() }
 
+// Close stops the shard workers (no-op when Config.Shards <= 1). Run
+// calls it automatically; only callers driving phase/step directly on a
+// sharded System need to call it themselves.
+func (s *System) Close() { s.fe.stopShards() }
+
 func (s *System) run() Metrics {
+	defer s.fe.stopShards()
 	s.phase(s.cfg.WarmupInstr)
 	s.auditSweep() // warmup boundary
 	start := s.rawTotals()
@@ -225,14 +234,14 @@ func (s *System) run() Metrics {
 	return m
 }
 
-// phase runs every core for n further instructions (by generator count).
+// phase runs every core for n further retired instructions.
 func (s *System) phase(n uint64) {
 	if n == 0 {
 		return
 	}
 	targets := make([]uint64, s.fe.count())
-	for i, g := range s.fe.gens {
-		targets[i] = g.Instructions + n
+	for i, c := range s.fe.cores {
+		targets[i] = c.Instrs + n
 	}
 	for {
 		c := s.fe.nextCore(targets)
@@ -255,9 +264,8 @@ func (s *System) step(c int) {
 			s.pruneInflight()
 		}
 	}
-	g := s.fe.gens[c]
 	core := s.fe.cores[c]
-	g.Next(&s.ref)
+	s.ref = *s.fe.nextRef(c)
 	core.Advance(uint64(s.ref.Gap))
 	if s.tel != nil {
 		s.tick(uint64(s.ref.Gap))
@@ -274,6 +282,27 @@ func (s *System) step(c int) {
 		if s.aud != nil {
 			s.aud.OnStore(addr)
 		}
+	}
+
+	// Fast path: with auditing and telemetry off, a plain L1 hit (no
+	// prefetch bit to consume, no store upgrade) retires here without
+	// building an AccessResult or touching the staged L2/memory seams.
+	// Prefetch training still observes the access: active streams
+	// advance on every demand reference, hit or miss.
+	if s.fastOK && s.tel == nil && s.h.FastHit(c, kind, addr) {
+		s.fastSteps++
+		if s.cfg.Prefetching {
+			eng := s.fe.engL1D[c]
+			src := coherence.PfL1D
+			if kind == coherence.IFetch {
+				eng = s.fe.engL1I[c]
+				src = coherence.PfL1I
+			}
+			if reqs := eng.OnAccess(addr); len(reqs) != 0 {
+				s.issueL1Prefetches(c, kind, src, now, reqs)
+			}
+		}
+		return
 	}
 
 	r := s.h.Access(c, kind, addr)
@@ -487,7 +516,7 @@ func (s *System) pruneInflight() {
 func (s *System) rawTotals() totals {
 	var t totals
 	for i := range s.fe.cores {
-		t.instr += s.fe.gens[i].Instructions
+		t.instr += s.fe.cores[i].Instrs
 		st := &s.h.L1I[i].Stats
 		t.l1iAcc += st.Accesses
 		t.l1iMiss += st.Misses

@@ -3,6 +3,7 @@ package workload
 import (
 	"encoding/binary"
 	"math"
+	"sync"
 
 	"cmpsim/internal/cache"
 	"cmpsim/internal/fpc"
@@ -241,6 +242,19 @@ func (d *DataModel) PackedRatio(n int) float64 {
 	return r
 }
 
+// calibCache memoizes CalibrateKnob results. The binary search is pure
+// in (targetRatio, seed) and costs tens of milliseconds of synthesis
+// and FPC compression, which would otherwise dominate every System
+// construction; experiment sweeps build thousands of systems over a
+// handful of profiles. sync.Map because scheduler workers construct
+// systems concurrently.
+var calibCache sync.Map
+
+type calibKey struct {
+	ratio float64
+	seed  uint64
+}
+
 // CalibrateKnob binary-searches the compressibility knob whose expected
 // compressed size yields the target effective-cache-size ratio.
 func CalibrateKnob(targetRatio float64, seed uint64) float64 {
@@ -251,6 +265,10 @@ func CalibrateKnob(targetRatio float64, seed uint64) float64 {
 	}
 	if targetRatio >= 2.0 {
 		return 1.0
+	}
+	key := calibKey{targetRatio, seed}
+	if v, ok := calibCache.Load(key); ok {
+		return v.(float64)
 	}
 	const samples = 2048
 	lo, hi := 0.0, 1.0
@@ -264,5 +282,6 @@ func CalibrateKnob(targetRatio float64, seed uint64) float64 {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2
+	v, _ := calibCache.LoadOrStore(key, (lo+hi)/2)
+	return v.(float64)
 }

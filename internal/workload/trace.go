@@ -155,6 +155,18 @@ func (t *TraceReader) Next(r *Ref) error {
 	return nil
 }
 
+// NextN fills refs with up to len(refs) records and returns the number
+// read. A clean end of trace yields (n, io.EOF) with n possibly
+// non-zero; any other error reports the record that failed.
+func (t *TraceReader) NextN(refs []Ref) (int, error) {
+	for i := range refs {
+		if err := t.Next(&refs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(refs), nil
+}
+
 // Count returns the references read so far.
 func (t *TraceReader) Count() uint64 { return t.count }
 

@@ -1,0 +1,182 @@
+// Command benchguard gates CI on benchmark regressions: it reads one
+// or more `go test -bench` logs (plain text or the `go test -json`
+// stream the bench-smoke job archives), extracts every benchmark's
+// ns/event metric (falling back to ns/op when a benchmark reports no
+// custom metric), and compares each against a committed baseline.
+//
+//	benchguard -baseline .github/bench-baseline.json BENCH_*.json
+//
+// A benchmark measuring more than tolerance (default 10%) above its
+// baseline fails the run. Benchmarks absent from the baseline are
+// reported but do not fail; -update rewrites the baseline from the
+// measurements instead of checking (run it on the machine that the
+// baseline should describe — numbers are not portable across hosts).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the committed reference: benchmark name (sub-benchmark
+// path included, GOMAXPROCS suffix stripped) to ns/event.
+type baseline struct {
+	Note       string             `json:"note,omitempty"`
+	NsPerEvent map[string]float64 `json:"ns_per_event"`
+}
+
+// benchLine matches a benchmark result row. The trailing -N CPU suffix
+// is stripped so baselines survive GOMAXPROCS changes.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// metric extracts "<value> <unit>" pairs from a result row's tail.
+var metric = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) (ns/event|ns/op)`)
+
+// testEvent is the subset of the test2json stream benchguard needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parse scans a bench log, plain or test2json, and returns each
+// benchmark's ns/event (preferring it over ns/op when both appear).
+// test2json splits a result row across output events (the name ends in
+// a bare tab, the numbers follow), so the stream is reassembled into
+// plain text first and parsed line by line.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action != "" {
+			if ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, best, haveEvent := m[1], 0.0, false
+		for _, mm := range metric.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			if mm[2] == "ns/event" {
+				best, haveEvent = v, true
+			} else if !haveEvent && best == 0 {
+				best = v
+			}
+		}
+		if best > 0 {
+			out[name] = best
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", ".github/bench-baseline.json", "committed baseline file")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from the measurements instead of checking")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no bench logs given")
+		os.Exit(2)
+	}
+
+	measured := map[string]float64{}
+	for _, path := range flag.Args() {
+		got, err := parse(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		for k, v := range got {
+			measured[k] = v
+		}
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results found in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		b := baseline{
+			Note:       "ns/event per benchmark; regenerate with: go test -run '^$' -bench BenchmarkSystemRun -benchtime 3x ./internal/sim | go run ./tools/benchguard -update -baseline <file> /dev/stdin",
+			NsPerEvent: measured,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*basePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchguard: wrote %d baselines to %s\n", len(measured), *basePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(measured))
+	for k := range measured {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		got := measured[name]
+		want, ok := base.NsPerEvent[name]
+		if !ok {
+			fmt.Printf("benchguard: %-40s %8.1f ns/event (no baseline, skipped)\n", name, got)
+			continue
+		}
+		limit := want * (1 + *tolerance)
+		status := "ok"
+		if got > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-40s %8.1f ns/event vs baseline %.1f (+%.0f%% allowed): %s\n",
+			name, got, want, *tolerance*100, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

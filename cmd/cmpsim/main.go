@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"cmpsim/internal/audit"
+	"cmpsim/internal/codec"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/report"
 	"cmpsim/internal/sim"
@@ -38,6 +39,7 @@ func main() {
 		cacheC   = flag.Bool("cache-compress", false, "enable L2 cache compression")
 		linkC    = flag.Bool("link-compress", false, "enable link compression")
 		compress = flag.Bool("compress", false, "enable both cache and link compression")
+		codecN   = flag.String("codec", "", "compression codec: fpc (paper default), bdi, zca or cpack")
 		pf       = flag.Bool("prefetch", false, "enable stride prefetching")
 		adaptive = flag.Bool("adaptive", false, "enable adaptive prefetch throttling")
 		bwGBps   = flag.Float64("bw", 20, "pin bandwidth in GB/s (0 = infinite)")
@@ -85,6 +87,10 @@ func main() {
 	if *shards < 0 {
 		log.Fatalf("-shards %d must be >= 0", *shards)
 	}
+	cdc, err := codec.ByName(*codecN)
+	if err != nil {
+		log.Fatalf("-codec: %v", err)
+	}
 	checkLevel, err := audit.ParseLevel(*check)
 	if err != nil {
 		log.Fatalf("-check: %v", err)
@@ -96,6 +102,10 @@ func main() {
 	cfg.MeasureInstr = *instr
 	cfg.WarmupInstr = *warmup
 	cfg.CacheCompression = *cacheC || *compress
+	cfg.Codec = *codecN
+	if cdc.Name() != codec.DefaultName {
+		cfg.DecompressionCycles = cdc.DecompressionCycles()
+	}
 	cfg.LinkCompression = *linkC || *compress
 	cfg.Prefetching = *pf || *adaptive
 	cfg.AdaptivePrefetch = *adaptive

@@ -8,7 +8,7 @@
 //	experiments -list
 //
 // Experiments: table3 fig3 fig4 fig5 table4 fig6 fig7 fig8 table5 fig10
-// fig11 fig1 fig12.
+// fig11 fig1 fig12 codecs.
 package main
 
 import (
@@ -403,6 +403,10 @@ func experimentTable(o core.Options) map[string]func() {
 		"fig1": func() {
 			rows := core.CoreSweep("zeus", coreCounts, o)
 			emit(func() { report.CoreSweep(w, "Figure 1 (zeus)", rows) }, rows, func() error { return report.CoreSweepCSV(w, rows) })
+		},
+		"codecs": func() {
+			rows := core.CodecStudy(benches, o)
+			emit(func() { report.CodecTable(w, rows) }, rows, func() error { return report.CodecCSV(w, rows) })
 		},
 		"fig12": func() {
 			ra := core.CoreSweep("apache", coreCounts, o)

@@ -1,9 +1,14 @@
-// Command fpc compresses a file 64 bytes at a time with Frequent
-// Pattern Compression and reports the per-block pattern statistics —
-// a quick way to see how FPC behaves on real data.
+// Command fpc compresses a file 64 bytes at a time with one of the
+// registered line codecs (Frequent Pattern Compression by default) and
+// reports the per-block statistics — a quick way to see how a codec
+// behaves on real data.
 //
 //	fpc somefile.bin
 //	head -c 4096 /dev/zero | fpc -
+//	fpc -codec bdi somefile.bin
+//
+// The word-pattern histogram is an FPC concept and is printed only for
+// the fpc codec.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"cmpsim/internal/codec"
 	"cmpsim/internal/fpc"
 )
 
@@ -20,11 +26,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fpc: ")
 	verify := flag.Bool("verify", true, "round-trip every block through Encode/Decode")
+	codecN := flag.String("codec", "fpc", "line codec: fpc, bdi, zca or cpack")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "fpc: usage: fpc [-verify=false] <file|->")
+		fmt.Fprintln(os.Stderr, "fpc: usage: fpc [-verify=false] [-codec name] <file|->")
 		flag.Usage()
 		os.Exit(2)
+	}
+	cdc, err := codec.ByName(*codecN)
+	if err != nil {
+		log.Fatalf("-codec: %v", err)
 	}
 
 	var in io.Reader
@@ -41,10 +52,10 @@ func main() {
 
 	var blocks, inBytes, outSegs int
 	var hist [8]int
-	sizeHist := make([]int, fpc.MaxSegments+1)
-	buf := make([]byte, fpc.LineSize)
-	encBuf := make([]byte, 0, fpc.LineSize)
-	dec := make([]byte, fpc.LineSize)
+	sizeHist := make([]int, codec.MaxSegments+1)
+	buf := make([]byte, codec.LineSize)
+	encBuf := make([]byte, 0, codec.LineSize)
+	dec := make([]byte, codec.LineSize)
 	for {
 		n, err := io.ReadFull(in, buf)
 		if err == io.EOF {
@@ -60,18 +71,20 @@ func main() {
 			log.Fatal(err)
 		}
 		blocks++
-		inBytes += fpc.LineSize
-		segs := fpc.CompressedSizeSegments(buf)
+		inBytes += codec.LineSize
+		segs := cdc.CompressedSizeSegments(buf)
 		outSegs += segs
 		sizeHist[segs]++
-		h := fpc.PatternHistogram(buf)
-		for i, c := range h {
-			hist[i] += c
+		if cdc.Name() == "fpc" {
+			h := fpc.PatternHistogram(buf)
+			for i, c := range h {
+				hist[i] += c
+			}
 		}
 		if *verify {
 			var s int
-			encBuf, s = fpc.AppendEncode(encBuf[:0], buf)
-			if err := fpc.DecodeInto(dec, encBuf, s); err != nil {
+			encBuf, s = cdc.AppendEncode(encBuf[:0], buf)
+			if err := cdc.DecodeInto(dec, encBuf, s); err != nil {
 				log.Fatalf("block %d: decode: %v", blocks, err)
 			}
 			for i := range dec {
@@ -80,25 +93,28 @@ func main() {
 				}
 			}
 		}
-		if n < fpc.LineSize {
+		if n < codec.LineSize {
 			break
 		}
 	}
 	if blocks == 0 {
 		log.Fatal("empty input")
 	}
-	outBytes := outSegs * fpc.SegmentSize
+	outBytes := outSegs * codec.SegmentSize
+	fmt.Printf("codec        %s\n", cdc.Name())
 	fmt.Printf("blocks       %d (%d bytes)\n", blocks, inBytes)
 	fmt.Printf("compressed   %d bytes (ratio %.2fx)\n", outBytes, float64(inBytes)/float64(outBytes))
-	fmt.Printf("segment histogram (1..8):")
-	for s := 1; s <= fpc.MaxSegments; s++ {
+	fmt.Printf("segment histogram (1..%d):", codec.MaxSegments)
+	for s := 1; s <= codec.MaxSegments; s++ {
 		fmt.Printf(" %d", sizeHist[s])
 	}
 	fmt.Println()
-	fmt.Println("word patterns:")
-	for p := fpc.Pattern(0); p < 8; p++ {
-		if hist[p] > 0 {
-			fmt.Printf("  %-12s %d\n", p, hist[p])
+	if cdc.Name() == "fpc" {
+		fmt.Println("word patterns:")
+		for p := fpc.Pattern(0); p < 8; p++ {
+			if hist[p] > 0 {
+				fmt.Printf("  %-12s %d\n", p, hist[p])
+			}
 		}
 	}
 }

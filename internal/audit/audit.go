@@ -34,7 +34,7 @@ import (
 	"strings"
 
 	"cmpsim/internal/cache"
-	"cmpsim/internal/fpc"
+	"cmpsim/internal/codec"
 	"cmpsim/internal/timing"
 )
 
@@ -143,6 +143,7 @@ type LineSource interface {
 type Auditor struct {
 	level Level
 	data  LineSource
+	codec codec.Codec // sizes and roundtrips use the run's codec
 
 	// Shadow value model: address → number of globally-ordered stores
 	// observed via OnStore, cross-checked against the workload data
@@ -162,13 +163,21 @@ type Auditor struct {
 	ShadowChecks uint64
 }
 
-// New builds an auditor for the given level. data supplies block
-// contents for the shadow model and may be nil below Shadow.
+// New builds an auditor for the given level checking against the
+// default codec. data supplies block contents for the shadow model and
+// may be nil below Shadow.
 func New(level Level, data LineSource) *Auditor {
+	return NewCodec(level, data, codec.Default())
+}
+
+// NewCodec builds an auditor whose shadow size checks and roundtrips
+// use codec c — the same codec the simulation prices sizes with, or the
+// "truth" comparison below would flag every fill.
+func NewCodec(level Level, data LineSource, c codec.Codec) *Auditor {
 	if !level.Valid() {
 		panic(fmt.Sprintf("audit: invalid level %d", level))
 	}
-	a := &Auditor{level: level, data: data}
+	a := &Auditor{level: level, data: data, codec: c}
 	if level >= Shadow {
 		if data == nil {
 			panic("audit: shadow level requires a LineSource")
@@ -227,10 +236,12 @@ func (a *Auditor) OnLoad(cycle timing.Tick, core int, addr cache.BlockAddr, data
 }
 
 // OnL2Data records a compressed-L2 fill or resize of addr at storedSegs
-// and, at Shadow level, verifies the FPC pipeline for the block's
-// current contents: CompressedSizeSegments must equal storedSegs when
-// the L2 stores compressed lines (exposing a corrupted size memo), and
-// an encode/decode roundtrip must reproduce the line bit-exactly.
+// and, at Shadow level, verifies the compression pipeline for the
+// block's current contents: the codec's CompressedSizeSegments must
+// equal storedSegs when the L2 stores compressed lines (exposing a
+// corrupted size memo), and an encode/decode roundtrip must reproduce
+// the line bit-exactly. (The invariant keeps its historical name
+// shadow-fpc whatever the configured codec.)
 func (a *Auditor) OnL2Data(cycle timing.Tick, addr cache.BlockAddr, storedSegs uint8, storesCompressed bool) {
 	if a.level < Shadow {
 		return
@@ -243,7 +254,7 @@ func (a *Auditor) OnL2Data(cycle timing.Tick, addr cache.BlockAddr, storedSegs u
 	}
 	a.ShadowChecks++
 	a.data.FillLine(addr, a.lineBuf[:])
-	truth := uint8(fpc.CompressedSizeSegments(a.lineBuf[:]))
+	truth := uint8(a.codec.CompressedSizeSegments(a.lineBuf[:]))
 	if storesCompressed && truth != storedSegs {
 		a.Fail("shadow-fpc", cycle, -1, -1, addr,
 			fmt.Sprintf("L2 stored %d segments but contents compress to %d", storedSegs, truth))
@@ -261,7 +272,7 @@ func (a *Auditor) OnWriteback(cycle timing.Tick, addr cache.BlockAddr, sizeSegs 
 	}
 	a.ShadowChecks++
 	a.data.FillLine(addr, a.lineBuf[:])
-	truth := uint8(fpc.CompressedSizeSegments(a.lineBuf[:]))
+	truth := uint8(a.codec.CompressedSizeSegments(a.lineBuf[:]))
 	if truth != sizeSegs {
 		a.Fail("shadow-fpc", cycle, -1, -1, addr,
 			fmt.Sprintf("writeback sized at %d segments but contents compress to %d", sizeSegs, truth))
@@ -270,15 +281,16 @@ func (a *Auditor) OnWriteback(cycle timing.Tick, addr cache.BlockAddr, sizeSegs 
 }
 
 // roundTrip verifies encode(line) → decode == line for the contents in
-// lineBuf.
+// lineBuf under the auditor's codec.
 func (a *Auditor) roundTrip(cycle timing.Tick, addr cache.BlockAddr, segs int) {
 	var err error
-	a.encBuf, _ = fpc.AppendEncode(a.encBuf[:0], a.lineBuf[:])
-	if err = fpc.DecodeInto(a.decBuf[:], a.encBuf, segs); err != nil {
+	a.encBuf, _ = a.codec.AppendEncode(a.encBuf[:0], a.lineBuf[:])
+	if err = a.codec.DecodeInto(a.decBuf[:], a.encBuf, segs); err != nil {
 		a.Fail("shadow-fpc", cycle, -1, -1, addr, fmt.Sprintf("decode failed: %v", err))
 	}
 	if !bytes.Equal(a.decBuf[:], a.lineBuf[:]) {
-		a.Fail("shadow-fpc", cycle, -1, -1, addr, "FPC roundtrip did not reproduce the line")
+		a.Fail("shadow-fpc", cycle, -1, -1, addr,
+			fmt.Sprintf("%s roundtrip did not reproduce the line", a.codec.Name()))
 	}
 }
 

@@ -28,6 +28,24 @@ const SegmentBytes = 8
 // MaxSegs is the size of an uncompressed line in segments.
 const MaxSegs = LineBytes / SegmentBytes
 
+// DefaultTagsPerSet and DefaultSegsPerSet are the paper's compressed-L2
+// set geometry: DefaultLinesPerSet uncompressed lines of data area per
+// set, with twice as many address tags so compression can double the
+// effective line count. sim.NewConfig instantiates the compressed L2
+// with these, and workload.PackedRatio packs its calibration samples
+// against the same two bounds — deriving both from one place keeps a
+// geometry change from silently skewing CalibrateKnob targets.
+const (
+	DefaultLinesPerSet = 4
+	DefaultTagsPerSet  = 2 * DefaultLinesPerSet
+	DefaultSegsPerSet  = DefaultLinesPerSet * MaxSegs
+)
+
+// MaxEffectiveRatio is the compressed cache's best-case effective-size
+// gain over the uncompressed baseline: the tag budget caps a set at
+// DefaultTagsPerSet lines in DefaultLinesPerSet lines' worth of space.
+const MaxEffectiveRatio = float64(DefaultTagsPerSet) / float64(DefaultLinesPerSet)
+
 // Line is one cache tag and its metadata. The same structure serves L1s
 // (coherence state in Dirty: M==dirty, S==clean) and the shared L2
 // (Sharers/Owner track on-chip L1 copies; Segs tracks compressed size).

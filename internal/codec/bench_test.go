@@ -1,0 +1,48 @@
+package codec
+
+import "testing"
+
+// benchCorpus mixes the pattern classes so throughput numbers reflect a
+// realistic blend rather than one branch of the encoder.
+func benchCorpus() [][]byte {
+	return testLines()
+}
+
+// BenchmarkCodecCompress measures size+encode throughput per codec
+// (what compbench reports as the compress column).
+func BenchmarkCodecCompress(b *testing.B) {
+	corpus := benchCorpus()
+	for _, c := range All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			buf := make([]byte, 0, LineSize)
+			b.SetBytes(LineSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _ = c.AppendEncode(buf[:0], corpus[i%len(corpus)])
+			}
+		})
+	}
+}
+
+// BenchmarkCodecDecompress measures strict-decode throughput per codec.
+func BenchmarkCodecDecompress(b *testing.B) {
+	corpus := benchCorpus()
+	for _, c := range All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			encs := make([][]byte, len(corpus))
+			segs := make([]int, len(corpus))
+			for i, line := range corpus {
+				encs[i], segs[i] = c.AppendEncode(nil, line)
+			}
+			dst := make([]byte, LineSize)
+			b.SetBytes(LineSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(corpus)
+				if err := c.DecodeInto(dst, encs[k], segs[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package codec
+
+import "cmpsim/internal/fpc"
+
+// FPC adapts internal/fpc (the paper's Frequent Pattern Compression) to
+// the Codec interface. It is the registry default: selecting it
+// reproduces the paper's (ratio, latency) point bit-exactly.
+type FPC struct{}
+
+// Name returns the registry key.
+func (FPC) Name() string { return "fpc" }
+
+// CompressedSizeSegments returns the FPC size of the line in segments.
+func (FPC) CompressedSizeSegments(line []byte) int { return fpc.CompressedSizeSegments(line) }
+
+// AppendEncode appends the FPC bitstream (see fpc.AppendEncode).
+func (FPC) AppendEncode(dst, line []byte) ([]byte, int) { return fpc.AppendEncode(dst, line) }
+
+// DecodeInto strictly decodes an FPC stream (see fpc.DecodeInto).
+func (FPC) DecodeInto(dst, enc []byte, segs int) error { return fpc.DecodeInto(dst, enc, segs) }
+
+// DecompressionCycles is the paper's Table 1 FPC pipeline: 5 cycles.
+func (FPC) DecompressionCycles() float64 { return 5 }

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"cmpsim/internal/codec"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
@@ -125,6 +126,12 @@ type Options struct {
 	// PrefetcherKind: "" or "stride" (the paper's engine) or
 	// "sequential" (the tagged sequential baseline).
 	PrefetcherKind string
+
+	// Codec selects the line-compression scheme (internal/codec registry
+	// name); "" or "fpc" is the paper's FPC and canonicalizes to the
+	// same point-cache key. Selecting a codec without DecompressionSet
+	// applies the codec's own default decompression latency.
+	Codec string
 }
 
 // DefaultOptions is the paper's 8-core system with enough warmup for the
@@ -155,8 +162,14 @@ func (o Options) config(bench string, m Mechanisms, seed int64) sim.Config {
 	}
 	cfg.L1PrefetchDepth = o.L1PrefetchDepth
 	cfg.L2PrefetchDepth = o.L2PrefetchDepth
+	cfg.Codec = o.Codec
 	if o.DecompressionSet {
 		cfg.DecompressionCycles = o.DecompressionCycles
+	} else if c, err := codec.ByName(o.Codec); err == nil && c.Name() != codec.DefaultName {
+		// A non-default codec brings its own decompression pipeline
+		// depth; unknown names fall through to sim.Validate for a clean
+		// point failure.
+		cfg.DecompressionCycles = c.DecompressionCycles()
 	}
 	if o.L2TagsPerSet > 0 {
 		cfg.L2TagsPerSet = o.L2TagsPerSet

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"cmpsim/internal/codec"
 	"cmpsim/internal/sim"
 )
 
@@ -202,5 +203,52 @@ func TestEffectiveSizeSample(t *testing.T) {
 	apsiRatio, _ := EffectiveSizeSample("apsi", tinyOptions())
 	if jbbRatio <= apsiRatio {
 		t.Fatalf("jbb ratio %f should exceed apsi %f", jbbRatio, apsiRatio)
+	}
+}
+
+func TestCodecOptionThreading(t *testing.T) {
+	// A non-default codec flows into sim.Config and brings its own
+	// decompression latency when none was set explicitly.
+	o := tinyOptions()
+	o.Codec = "cpack"
+	cfg := o.config("zeus", Compression, 1)
+	if cfg.Codec != "cpack" {
+		t.Fatalf("Codec not threaded: %+v", cfg)
+	}
+	if want := codec.MustByName("cpack").DecompressionCycles(); cfg.DecompressionCycles != want {
+		t.Fatalf("DecompressionCycles = %g, want the codec default %g", cfg.DecompressionCycles, want)
+	}
+	// An explicit latency wins over the codec default.
+	o.DecompressionSet = true
+	o.DecompressionCycles = 2.5
+	if cfg := o.config("zeus", Compression, 1); cfg.DecompressionCycles != 2.5 {
+		t.Fatalf("explicit DecompressionCycles overridden: %g", cfg.DecompressionCycles)
+	}
+	// The default codec keeps the paper's 5-cycle latency untouched.
+	o = tinyOptions()
+	o.Codec = "fpc"
+	if cfg := o.config("zeus", Compression, 1); cfg.DecompressionCycles != sim.NewConfig("zeus").DecompressionCycles {
+		t.Fatalf("fpc changed the default latency: %g", cfg.DecompressionCycles)
+	}
+}
+
+func TestCodecCanonicalization(t *testing.T) {
+	// "" and "fpc" are the same point: the second Submit must be served
+	// from the cache, not simulated again.
+	a, b := tinyOptions(), tinyOptions()
+	b.Codec = "fpc"
+	if canonicalOpts(a) != canonicalOpts(b) {
+		t.Fatal("fpc does not canonicalize to the default codec")
+	}
+	c := tinyOptions()
+	c.Codec = "bdi"
+	if canonicalOpts(a) == canonicalOpts(c) {
+		t.Fatal("bdi collides with the default codec in the cache key")
+	}
+	// An unknown codec must fail the point cleanly, not crash the pool.
+	bad := tinyOptions()
+	bad.Codec = "lz4"
+	if _, err := Run("zeus", Compression, bad); err == nil {
+		t.Fatal("unknown codec accepted")
 	}
 }

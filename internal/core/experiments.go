@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"cmpsim/internal/codec"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
@@ -600,4 +601,94 @@ func EffectiveSizeSample(bench string, o Options) (ratio float64, effectiveBytes
 	p := MustRun(bench, CacheCompr, o)
 	return p.Mean(func(m *sim.Metrics) float64 { return m.CompressionRatio }),
 		p.Mean(func(m *sim.Metrics) float64 { return m.EffectiveL2Bytes })
+}
+
+// CodecRow is one (codec, benchmark) entry of the codec bakeoff: the
+// Table 5 interaction terms re-run with a different line-compression
+// algorithm in the L2, plus the interaction at the most contended point
+// of the Figure 11 sweep, where the codecs' ratio and decompression
+// latency trade off most visibly.
+type CodecRow struct {
+	Codec              string
+	Benchmark          string
+	PrefPct            float64 // Speedup(Pref.) − 1
+	ComprPct           float64 // Speedup(Compr.) − 1
+	BothPct            float64 // Speedup(Pref., Compr.) − 1
+	InteractionPct     float64 // EQ 5 at the study's default bandwidth
+	InteractionAtBWPct float64 // EQ 5 at CodecStudyBandwidthGBps
+	Failed             string  `json:",omitempty"`
+}
+
+// CodecStudyBandwidthGBps is the constrained-bandwidth column of the
+// codec study: the left edge of the Figure 11 sweep, where compression
+// buys the most and slow decompression hurts the most.
+const CodecStudyBandwidthGBps = 10
+
+// CodecStudy re-runs the Table 5 speedup/interaction terms once per
+// registered codec, each at its own default decompression latency
+// (unless o pins one explicitly). The uncompressed baseline exercises
+// no codec, so every codec's speedups are measured against the same
+// shared Base point per (benchmark, bandwidth).
+func CodecStudy(benchmarks []string, o Options) []CodecRow {
+	return sharedScheduler(o).CodecStudy(benchmarks, o)
+}
+
+// CodecStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) CodecStudy(benchmarks []string, o Options) []CodecRow {
+	names := codec.Names()
+	oBW := o
+	oBW.BandwidthGBps = CodecStudyBandwidthGBps
+	type futures struct {
+		base, pf, compr, both         *PointFuture
+		bwBase, bwPf, bwCompr, bwBoth *PointFuture
+	}
+	subs := make([][]futures, len(names))
+	for ci, name := range names {
+		oc := o
+		oc.Codec = name
+		ocBW := oBW
+		ocBW.Codec = name
+		subs[ci] = make([]futures, len(benchmarks))
+		for i, b := range benchmarks {
+			subs[ci][i] = futures{
+				// Base and Prefetch never touch the codec; submitting
+				// them with the default codec lets the point cache
+				// share one run across all codecs.
+				base:    s.Submit(b, Base, o),
+				pf:      s.Submit(b, Prefetch, o),
+				compr:   s.Submit(b, Compression, oc),
+				both:    s.Submit(b, PrefCompr, oc),
+				bwBase:  s.Submit(b, Base, oBW),
+				bwPf:    s.Submit(b, Prefetch, oBW),
+				bwCompr: s.Submit(b, Compression, ocBW),
+				bwBoth:  s.Submit(b, PrefCompr, ocBW),
+			}
+		}
+	}
+	rows := make([]CodecRow, 0, len(names)*len(benchmarks))
+	for ci, name := range names {
+		for i, b := range benchmarks {
+			f := subs[ci][i]
+			pts, failed := await(f.base, f.pf, f.compr, f.both,
+				f.bwBase, f.bwPf, f.bwCompr, f.bwBoth)
+			if failed != "" {
+				rows = append(rows, CodecRow{Codec: name, Benchmark: b, Failed: failed})
+				continue
+			}
+			sp := Speedup(pts[0], pts[1])
+			sc := Speedup(pts[0], pts[2])
+			sb := Speedup(pts[0], pts[3])
+			rows = append(rows, CodecRow{
+				Codec:          name,
+				Benchmark:      b,
+				PrefPct:        stats.SpeedupPct(sp),
+				ComprPct:       stats.SpeedupPct(sc),
+				BothPct:        stats.SpeedupPct(sb),
+				InteractionPct: stats.InteractionPct(sp, sc, sb),
+				InteractionAtBWPct: stats.InteractionPct(
+					Speedup(pts[4], pts[5]), Speedup(pts[4], pts[6]), Speedup(pts[4], pts[7])),
+			})
+		}
+	}
+	return rows
 }

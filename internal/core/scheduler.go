@@ -117,6 +117,10 @@ func canonicalOpts(o Options) Options {
 	if o.PrefetcherKind == "stride" {
 		o.PrefetcherKind = ""
 	}
+	if o.Codec == "fpc" {
+		// The explicit default codec is the same simulation as "".
+		o.Codec = ""
+	}
 	if !o.DecompressionSet {
 		o.DecompressionCycles = 0
 	}

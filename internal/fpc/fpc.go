@@ -359,25 +359,40 @@ func Decode(enc []byte, segs int) ([]byte, error) {
 // DecodeInto is the allocation-free variant of Decode: it decompresses
 // the bitstream into dst, which must hold at least LineSize bytes and is
 // cleared first (zero runs rely on it).
+//
+// DecodeInto is strict: it only accepts streams that AppendEncode could
+// have produced at the claimed segment count. Reads are bounded to
+// segs*64 bits, the decoded words must spend exactly CompressedBits of
+// the decoded line (a truncated stream cannot pass its zero padding off
+// as extra zero-run codewords), segs must equal the recomputed
+// CompressedSizeSegments of the decoded line (raw storage included:
+// segs == MaxSegments requires an incompressible payload), and the
+// padding up to the segment boundary must be zero.
 func DecodeInto(dst, enc []byte, segs int) error {
 	if len(dst) < LineSize {
 		return fmt.Errorf("fpc: destination holds %d bytes, need %d", len(dst), LineSize)
 	}
 	dst = dst[:LineSize]
+	if segs < 1 || segs > MaxSegments {
+		return fmt.Errorf("fpc: invalid segment count %d", segs)
+	}
 	if segs == MaxSegments {
 		if len(enc) < LineSize {
 			return errShortStream
 		}
 		copy(dst, enc)
+		if got := CompressedSizeSegments(dst); got != MaxSegments {
+			return fmt.Errorf("fpc: raw-stored line compresses to %d segments, not %d", got, MaxSegments)
+		}
 		return nil
 	}
-	if segs < 1 || segs > MaxSegments {
-		return fmt.Errorf("fpc: invalid segment count %d", segs)
+	if len(enc) < segs*SegmentSize {
+		return errShortStream
 	}
 	for i := range dst {
 		dst[i] = 0
 	}
-	br := bitReader{buf: enc}
+	br := bitReader{buf: enc[:segs*SegmentSize]}
 	i := 0
 	for i < wordsPerLine {
 		pv, err := br.read(prefixBits)
@@ -399,6 +414,26 @@ func DecodeInto(dst, enc []byte, segs int) error {
 		}
 		binary.LittleEndian.PutUint32(dst[i*4:], decodeData(p, d))
 		i++
+	}
+	if want := CompressedBits(dst); int(br.nbit) != want {
+		return fmt.Errorf("fpc: stream spends %d bits where the canonical encoding of the decoded line spends %d",
+			br.nbit, want)
+	}
+	if want := CompressedSizeSegments(dst); want != segs {
+		return fmt.Errorf("fpc: segment count %d disagrees with the line's compressed size %d", segs, want)
+	}
+	// The remainder of the claimed segments is padding and must be zero.
+	from := int(br.nbit) / 8
+	if rem := br.nbit % 8; rem != 0 {
+		if enc[from]&(1<<(8-rem)-1) != 0 {
+			return fmt.Errorf("fpc: non-zero padding bits in byte %d", from)
+		}
+		from++
+	}
+	for ; from < segs*SegmentSize; from++ {
+		if enc[from] != 0 {
+			return fmt.Errorf("fpc: non-zero padding byte %#02x at offset %d", enc[from], from)
+		}
 	}
 	return nil
 }

@@ -394,3 +394,58 @@ func BenchmarkFPCCompress(b *testing.B) {
 		}
 	}
 }
+
+func TestDecodeStrictness(t *testing.T) {
+	dst := make([]byte, LineSize)
+
+	// Regression: the lenient decoder accepted an all-zero 2-segment
+	// stream (reading the padding as 16 zero-run-of-1 codewords, 96
+	// bits) even though the canonical all-zero encoding is 12 bits in 1
+	// segment. Both the non-canonical spend and the wrong claimed size
+	// must now be rejected.
+	if err := DecodeInto(dst, make([]byte, 2*SegmentSize), 2); err == nil {
+		t.Error("all-zero 2-segment stream accepted (padding decoded as zero runs)")
+	}
+
+	// Regression: a canonical stream zero-padded out to a larger claimed
+	// segment count used to decode successfully, so the caller's segs
+	// was never validated against the payload.
+	line := lineOfWords(1, 2, 3, 7) // 2 segments
+	enc, segs := Encode(line)
+	padded := append(append([]byte(nil), enc...), make([]byte, SegmentSize)...)
+	if err := DecodeInto(dst, padded, segs+1); err == nil {
+		t.Errorf("stream of %d segments accepted with claimed segs %d", segs, segs+1)
+	}
+
+	// Non-zero bits hidden in the padding must be rejected, not ignored.
+	tampered := append([]byte(nil), enc...)
+	if tampered[len(tampered)-1] != 0 {
+		t.Fatalf("expected zero padding at the tail of a %d-bit stream", CompressedBits(line))
+	}
+	tampered[len(tampered)-1] = 0x01
+	if err := DecodeInto(dst, tampered, segs); err == nil {
+		t.Error("non-zero padding byte accepted")
+	}
+
+	// Reads are bounded by the claimed segment count even when the
+	// slice is longer: a 2-segment stream claimed as 1 segment must
+	// fail instead of reading past segs*64 bits.
+	if err := DecodeInto(dst, enc, segs-1); err == nil {
+		t.Error("2-segment stream accepted with claimed segs 1")
+	}
+
+	// Raw storage is only for incompressible lines: a compressible line
+	// claimed as MaxSegments disagrees with its recomputed size.
+	raw := make([]byte, LineSize) // all-zero "raw" payload
+	if err := DecodeInto(dst, raw, MaxSegments); err == nil {
+		t.Error("compressible line accepted as raw storage")
+	}
+
+	// The canonical stream itself still decodes.
+	if err := DecodeInto(dst, enc, segs); err != nil {
+		t.Fatalf("canonical stream rejected: %v", err)
+	}
+	if !bytes.Equal(dst, line) {
+		t.Fatal("canonical stream decoded to the wrong line")
+	}
+}

@@ -42,19 +42,46 @@ func FuzzRoundTrip(f *testing.F) {
 		if !bytes.Equal(dec, line) {
 			t.Fatalf("round trip mismatch:\n in  %x\n out %x", line, dec)
 		}
+		// Strictness: the same stream must not also decode at a larger
+		// claimed segment count (zero padding is not extra codewords).
+		if segs+1 < MaxSegments {
+			padded := append(append([]byte(nil), enc...), make([]byte, SegmentSize)...)
+			if err := DecodeInto(dec, padded, segs+1); err == nil {
+				t.Fatalf("wrong segs %d accepted for a %d-segment stream", segs+1, segs)
+			}
+		}
+		// ... nor at a truncated length.
+		if err := DecodeInto(dec, enc[:len(enc)-1], segs); err == nil {
+			t.Fatal("truncated stream accepted")
+		}
 	})
 }
 
 // FuzzDecode feeds arbitrary (not encoder-produced) bitstreams to the
-// decoder: it may reject them, but must never panic or over-read.
+// decoder: it may reject them, but must never panic or over-read, and
+// any stream it does accept must be the canonical encoding of the line
+// it decodes to.
 func FuzzDecode(f *testing.F) {
 	enc, segs := Encode(make([]byte, LineSize))
 	f.Add(enc, segs)
 	f.Add([]byte{}, 1)
 	f.Add([]byte{0xFF}, MaxSegments)
+	// Malformed streams the lenient decoder used to accept: an all-zero
+	// stream claiming 2 segments (16 zero-run-of-1 codewords), and a
+	// canonical 1-segment encoding claiming 2 segments with zero padding.
+	f.Add(make([]byte, 2*SegmentSize), 2)
+	f.Add(append(enc, make([]byte, SegmentSize)...), segs+1)
 
 	f.Fuzz(func(t *testing.T, enc []byte, segs int) {
 		dst := make([]byte, LineSize)
-		_ = DecodeInto(dst, enc, segs)
+		if err := DecodeInto(dst, enc, segs); err != nil {
+			return
+		}
+		if want := CompressedSizeSegments(dst); want != segs {
+			t.Fatalf("accepted segs %d but decoded line occupies %d segments", segs, want)
+		}
+		if _, got := AppendEncode(nil, dst); got != segs {
+			t.Fatalf("accepted segs %d but re-encoding yields %d", segs, got)
+		}
 	})
 }

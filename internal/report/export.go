@@ -188,3 +188,24 @@ func TimelineCSV(w io.Writer, meta TimelineMeta, tl []sim.IntervalSample) error 
 }
 
 func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// CodecCSV writes the codec bakeoff rows.
+func CodecCSV(w io.Writer, rows []core.CodecRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"codec", "benchmark", "pref_pct", "compr_pct", "both_pct",
+		"interaction_pct", "interaction_at_bw_pct", "failed",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Codec, r.Benchmark, f(r.PrefPct), f(r.ComprPct), f(r.BothPct),
+			f(r.InteractionPct), f(r.InteractionAtBWPct), r.Failed,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

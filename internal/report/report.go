@@ -210,3 +210,21 @@ func CoreSweep(w io.Writer, title string, rows []core.CoreSweepRow) {
 			r.Cores, r.PrefPct, r.AdaptivePct, r.ComprPct, r.BothPct, r.AdBothPct)
 	}
 }
+
+// CodecTable prints the codec bakeoff: Table 5's terms per registered
+// codec, plus the interaction at the constrained-bandwidth point.
+func CodecTable(w io.Writer, rows []core.CodecRow) {
+	fmt.Fprintf(w, "Codec bakeoff: Table 5 terms per codec (%%), interaction also at %d GB/s\n",
+		core.CodecStudyBandwidthGBps)
+	fmt.Fprintf(w, "  %-6s %-8s %8s %8s %8s %12s %12s\n",
+		"codec", "bench", "pref", "compr", "both", "interaction", "inter@bw")
+	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-6s %-8s %s\n", r.Codec, r.Benchmark, failedCell(r.Failed))
+			continue
+		}
+		fmt.Fprintf(w, "  %-6s %-8s %+7.1f%% %+7.1f%% %+7.1f%% %+11.1f%% %+11.1f%%\n",
+			r.Codec, r.Benchmark, r.PrefPct, r.ComprPct, r.BothPct,
+			r.InteractionPct, r.InteractionAtBWPct)
+	}
+}

@@ -85,7 +85,7 @@ func (s *System) initAudit(cfg Config) {
 	if !cfg.CheckLevel.Enabled() {
 		return
 	}
-	s.aud = audit.New(cfg.CheckLevel, s.data)
+	s.aud = audit.NewCodec(cfg.CheckLevel, s.data, s.codec)
 	s.checkEvery = cfg.CheckInterval
 	if s.checkEvery == 0 {
 		s.checkEvery = defaultCheckInterval

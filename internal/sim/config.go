@@ -23,8 +23,11 @@ import (
 	"fmt"
 
 	"cmpsim/internal/audit"
+	"cmpsim/internal/cache"
+	"cmpsim/internal/codec"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/memory"
+	"cmpsim/internal/timing"
 	"cmpsim/internal/workload"
 )
 
@@ -54,6 +57,14 @@ type Config struct {
 	// Power4-style prefetcher; "sequential" is the tagged sequential
 	// baseline from the related-work comparison.
 	PrefetcherKind string
+
+	// Codec selects the line-compression scheme (internal/codec registry
+	// name). "" or "fpc" is the paper's Frequent Pattern Compression;
+	// the choice drives block sizing, knob calibration and the shadow
+	// audit roundtrip. DecompressionCycles is NOT re-defaulted here —
+	// internal/core applies the codec's default latency when the caller
+	// did not override it.
+	Codec string
 
 	// L1 parameters (per core, I and D each).
 	L1Bytes     int
@@ -132,8 +143,8 @@ func NewConfig(benchmark string) Config {
 
 		L2Bytes:                4 << 20,
 		L2Ways:                 8,
-		L2TagsPerSet:           8,
-		L2SegsPerSet:           32,
+		L2TagsPerSet:           cache.DefaultTagsPerSet,
+		L2SegsPerSet:           cache.DefaultSegsPerSet,
 		L2Banks:                8,
 		L2HitCycles:            15,
 		DecompressionCycles:    5,
@@ -190,6 +201,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: invalid CheckLevel %d", c.CheckLevel)
 	case c.Shards < 0:
 		return fmt.Errorf("sim: Shards must be non-negative")
+	}
+	if _, err := codec.ByName(c.Codec); err != nil {
+		return err
+	}
+	// The decompression latency must be exactly representable in the
+	// integer tick domain, or the priced latency would silently drift
+	// from the configured (and reported) value. Any multiple of 2^-24
+	// cycles passes, so whole, half and quarter cycles are all fine.
+	if _, ok := timing.ExactCycles(c.DecompressionCycles); !ok {
+		return fmt.Errorf("sim: DecompressionCycles %g is not representable in the tick domain (use a multiple of 2^-%d cycles)",
+			c.DecompressionCycles, timing.SubCycleBits)
 	}
 	if err := c.Memory.Validate(); err != nil {
 		return err

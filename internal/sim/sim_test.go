@@ -224,6 +224,8 @@ func TestConfigValidation(t *testing.T) {
 		{"link bandwidth over tick resolution", func(c *Config) { c.Memory.LinkBytesPerCycle = 1e12 }},
 		{"zero CPU BaseCPI", func(c *Config) { c.CPU.BaseCPI = 0 }},
 		{"zero MSHRs", func(c *Config) { c.CPU.MSHRs = 0 }},
+		{"unknown codec", func(c *Config) { c.Codec = "lz4" }},
+		{"non-representable decompression latency", func(c *Config) { c.DecompressionCycles = 1.0 / 3.0 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/cache"
+	"cmpsim/internal/codec"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/memory"
 	"cmpsim/internal/prefetch"
@@ -22,9 +23,10 @@ var (
 // plus the three timing stages (frontEnd, l2Stage, memory.System) and
 // the attribution counters the Metrics are computed from.
 type System struct {
-	cfg  Config
-	prof workload.Profile
-	data *workload.DataModel
+	cfg   Config
+	prof  workload.Profile
+	codec codec.Codec // resolved from Config.Codec
+	data  *workload.DataModel
 
 	h   *coherence.Hierarchy
 	mem *memory.System // concrete memory stage (counter snapshots)
@@ -72,10 +74,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	memCfg := cfg.Memory
 	memCfg.LinkCompression = cfg.LinkCompression
+	cdc := codec.MustByName(cfg.Codec) // validated above
 	s := &System{
 		cfg:      cfg,
 		prof:     prof,
-		data:     workload.NewDataModel(prof, cfg.Seed),
+		codec:    cdc,
+		data:     workload.NewDataModelCodec(prof, cfg.Seed, cdc),
 		mem:      memory.New(memCfg),
 		inflight: make(map[cache.BlockAddr]timing.Tick),
 		dirtyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),

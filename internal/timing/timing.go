@@ -53,6 +53,17 @@ func FromCycles(cycles float64) Tick {
 // FromIntCycles converts a whole-cycle count to ticks exactly.
 func FromIntCycles(cycles int64) Tick { return Tick(cycles) * TicksPerCycle }
 
+// ExactCycles converts a cycle count to ticks and reports whether the
+// conversion is exact — i.e. cycles is representable in the fixed-point
+// tick domain with no rounding. Config validation uses it to reject
+// latencies (such as per-codec decompression cycles) that would
+// silently drift between the pricing and reporting paths: any multiple
+// of 2^-24 cycles is exact, so whole and half cycle values always pass.
+func ExactCycles(cycles float64) (Tick, bool) {
+	t := FromCycles(cycles)
+	return t, float64(t) == cycles*TicksPerCycle
+}
+
 // Cycles converts t back to float64 cycles (reporting only).
 func (t Tick) Cycles() float64 { return float64(t) / TicksPerCycle }
 

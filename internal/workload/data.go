@@ -6,16 +6,25 @@ import (
 	"sync"
 
 	"cmpsim/internal/cache"
-	"cmpsim/internal/fpc"
+	"cmpsim/internal/codec"
 )
 
-// DataModel synthesizes deterministic 64-byte block contents whose FPC
-// compressibility matches a benchmark's Table 3 compression ratio. A
-// block's contents are a pure function of (seed, address, version);
-// stores may bump a block's version, changing its compressed size — the
-// mechanism behind recompression on dirty writebacks.
+// DataModel synthesizes deterministic 64-byte block contents whose
+// compressibility under the selected codec matches a benchmark's
+// Table 3 compression ratio. A block's contents are a pure function of
+// (seed, address, version); stores may bump a block's version, changing
+// its compressed size — the mechanism behind recompression on dirty
+// writebacks.
+//
+// The value synthesizer draws words from FPC's pattern classes (the
+// paper's codec); other codecs see the same value stream but price it
+// with their own size function, so calibration converges on the knob
+// that hits the target ratio as measured by that codec — or saturates
+// below it if the codec cannot reach the target on this value mixture
+// (e.g. zca on a profile with few all-zero lines).
 type DataModel struct {
-	seed uint64
+	seed  uint64
+	codec codec.Codec
 	// Cumulative thresholds over a 16-bit dial for word categories:
 	// zero | se4 | se8 | se16 | repbyte | zeropad16 | random.
 	thZero, thSE4, thSE8, thSE16, thRep, thPad uint32
@@ -61,9 +70,17 @@ func splitmix64(x uint64) uint64 {
 // reaches approximately the profile's TargetRatio (effective size over
 // physical size, capped at 2.0 by the tag limit).
 func NewDataModel(p Profile, seed int64) *DataModel {
-	knob := CalibrateKnob(p.TargetRatio, uint64(seed))
+	return NewDataModelCodec(p, seed, codec.Default())
+}
+
+// NewDataModelCodec builds a model calibrated against codec c: block
+// sizes, calibration packing and the ratio estimators all use c's size
+// function.
+func NewDataModelCodec(p Profile, seed int64, c codec.Codec) *DataModel {
+	knob := CalibrateKnobCodec(p.TargetRatio, uint64(seed), c)
 	d := &DataModel{
 		seed:     uint64(seed) * 0x9E3779B97F4A7C15,
+		codec:    c,
 		versions: make(map[cache.BlockAddr]uint32),
 		sizes:    make(map[cache.BlockAddr]uint8),
 	}
@@ -71,10 +88,14 @@ func NewDataModel(p Profile, seed int64) *DataModel {
 	return d
 }
 
+// Codec returns the codec this model prices sizes with.
+func (d *DataModel) Codec() codec.Codec { return d.codec }
+
 // newRawModel builds a model directly from a knob (calibration support).
-func newRawModel(knob float64, seed uint64) *DataModel {
+func newRawModel(knob float64, seed uint64, c codec.Codec) *DataModel {
 	d := &DataModel{
 		seed:     seed,
+		codec:    c,
 		versions: make(map[cache.BlockAddr]uint32),
 		sizes:    make(map[cache.BlockAddr]uint8),
 	}
@@ -124,13 +145,13 @@ func (d *DataModel) Line(a cache.BlockAddr) []byte {
 	return out
 }
 
-// SizeOf returns the block's current FPC-compressed size in segments,
-// memoized per version.
+// SizeOf returns the block's current compressed size in segments under
+// the model's codec, memoized per version.
 func (d *DataModel) SizeOf(a cache.BlockAddr) uint8 {
 	if d.poisonNext > 0 {
 		d.poisonNext--
 		d.FillLine(a, d.lineBuf[:])
-		s := 9 - uint8(fpc.CompressedSizeSegments(d.lineBuf[:])) // legal but wrong
+		s := 9 - uint8(d.codec.CompressedSizeSegments(d.lineBuf[:])) // legal but wrong
 		d.sizes[a] = s
 		return s
 	}
@@ -138,7 +159,7 @@ func (d *DataModel) SizeOf(a cache.BlockAddr) uint8 {
 		return s
 	}
 	d.FillLine(a, d.lineBuf[:])
-	s := uint8(fpc.CompressedSizeSegments(d.lineBuf[:]))
+	s := uint8(d.codec.CompressedSizeSegments(d.lineBuf[:]))
 	d.sizes[a] = s
 	return s
 }
@@ -180,24 +201,25 @@ func (d *DataModel) MeanSegs(n int) float64 {
 		for w := 0; w < cache.LineBytes/4; w++ {
 			binary.LittleEndian.PutUint32(buf[w*4:], d.synthWord(a, ver, w))
 		}
-		total += fpc.CompressedSizeSegments(buf[:])
+		total += d.codec.CompressedSizeSegments(buf[:])
 	}
 	return float64(total) / float64(n)
 }
 
 // RatioForMeanSegs converts a mean compressed size to the effective
-// cache-size ratio of the paper's compressed L2: a set of 32 segments
-// and 8 tags holds min(8, 32/E[s]) lines versus 4 uncompressed ones...
-// relative to the baseline 4 MB uncompressed cache holding the same
-// total lines, the ratio is min(2, 8/E[s]). It is an upper bound: real
+// cache-size ratio of the paper's compressed L2: a set of
+// cache.DefaultSegsPerSet segments and cache.DefaultTagsPerSet tags
+// holds min(tags, segs/E[s]) lines versus cache.DefaultLinesPerSet
+// uncompressed ones, so relative to the uncompressed baseline the ratio
+// is min(MaxEffectiveRatio, MaxSegs/E[s]). It is an upper bound: real
 // sets lose space to packing granularity (see PackedRatio).
 func RatioForMeanSegs(meanSegs float64) float64 {
 	if meanSegs <= 0 {
-		return 2
+		return cache.MaxEffectiveRatio
 	}
-	r := 8 / meanSegs
-	if r > 2 {
-		r = 2
+	r := float64(cache.MaxSegs) / meanSegs
+	if r > cache.MaxEffectiveRatio {
+		r = cache.MaxEffectiveRatio
 	}
 	if r < 1 {
 		r = 1
@@ -206,11 +228,13 @@ func RatioForMeanSegs(meanSegs float64) float64 {
 }
 
 // PackedRatio estimates the achieved effective-size ratio by actually
-// packing n sample lines into simulated sets of the paper geometry
-// (8 tags, 32 segments): lines are admitted until the tag or segment
-// budget runs out, as the decoupled variable-segment cache does. This
-// captures the packing-granularity loss the mean-based bound misses
-// (e.g. four 7-segment lines leave 4 free segments that fit nothing).
+// packing n sample lines into simulated sets of the compressed-L2
+// geometry (cache.DefaultTagsPerSet tags, cache.DefaultSegsPerSet
+// segments — the same constants sim.NewConfig builds the cache with):
+// lines are admitted until the tag or segment budget runs out, as the
+// decoupled variable-segment cache does. This captures the
+// packing-granularity loss the mean-based bound misses (e.g. four
+// 7-segment lines leave 4 free segments that fit nothing).
 func (d *DataModel) PackedRatio(n int) float64 {
 	var buf [cache.LineBytes]byte
 	totalLines, sets := 0, 0
@@ -220,8 +244,8 @@ func (d *DataModel) PackedRatio(n int) float64 {
 		for w := 0; w < cache.LineBytes/4; w++ {
 			binary.LittleEndian.PutUint32(buf[w*4:], d.synthWord(a, 0, w))
 		}
-		s := fpc.CompressedSizeSegments(buf[:])
-		if tags+1 > 8 || segs+s > 32 {
+		s := d.codec.CompressedSizeSegments(buf[:])
+		if tags+1 > cache.DefaultTagsPerSet || segs+s > cache.DefaultSegsPerSet {
 			totalLines += tags
 			sets++
 			tags, segs = 0, 0
@@ -232,12 +256,12 @@ func (d *DataModel) PackedRatio(n int) float64 {
 	if sets == 0 {
 		return 1
 	}
-	r := float64(totalLines) / float64(sets) / 4
+	r := float64(totalLines) / float64(sets) / cache.DefaultLinesPerSet
 	if r < 1 {
 		r = 1
 	}
-	if r > 2 {
-		r = 2
+	if r > cache.MaxEffectiveRatio {
+		r = cache.MaxEffectiveRatio
 	}
 	return r
 }
@@ -253,20 +277,28 @@ var calibCache sync.Map
 type calibKey struct {
 	ratio float64
 	seed  uint64
+	codec string
 }
 
 // CalibrateKnob binary-searches the compressibility knob whose expected
-// compressed size yields the target effective-cache-size ratio.
+// compressed size yields the target effective-cache-size ratio under
+// the default codec.
 func CalibrateKnob(targetRatio float64, seed uint64) float64 {
+	return CalibrateKnobCodec(targetRatio, seed, codec.Default())
+}
+
+// CalibrateKnobCodec is CalibrateKnob pricing sizes with codec c; the
+// memo is keyed per codec so two codecs never share a knob.
+func CalibrateKnobCodec(targetRatio float64, seed uint64, c codec.Codec) float64 {
 	if targetRatio <= 1.0 {
 		// Ratio 1.0x means essentially incompressible, but keep a trace
 		// of compressible lines so ratios like 1.01 are achievable.
 		targetRatio = math.Max(targetRatio, 1.0)
 	}
-	if targetRatio >= 2.0 {
+	if targetRatio >= cache.MaxEffectiveRatio {
 		return 1.0
 	}
-	key := calibKey{targetRatio, seed}
+	key := calibKey{targetRatio, seed, c.Name()}
 	if v, ok := calibCache.Load(key); ok {
 		return v.(float64)
 	}
@@ -274,7 +306,7 @@ func CalibrateKnob(targetRatio float64, seed uint64) float64 {
 	lo, hi := 0.0, 1.0
 	for iter := 0; iter < 30; iter++ {
 		mid := (lo + hi) / 2
-		m := newRawModel(mid, seed)
+		m := newRawModel(mid, seed, c)
 		r := m.PackedRatio(samples)
 		if r < targetRatio {
 			lo = mid

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the experiments command:
+// with CMPSIM_EXPERIMENTS_MAIN=1 it runs main() instead of the tests.
+// Subprocesses below set that variable — and spawned pipe workers
+// inherit it, so spawnFleet's self-re-exec works under test too.
+func TestMain(m *testing.M) {
+	if os.Getenv("CMPSIM_EXPERIMENTS_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// tinyGrid is a sweep small enough for subprocess tests (two
+// benchmarks, two mechanisms each under -quick, sub-second).
+var tinyGrid = []string{
+	"-run", "table3", "-benchmarks", "zeus,art", "-quick",
+	"-cores", "2", "-warmup", "50000", "-measure", "30000", "-seeds", "1",
+}
+
+// experiments runs the test binary as the experiments command.
+func experiments(t *testing.T, env []string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "CMPSIM_EXPERIMENTS_MAIN=1")
+	cmd.Env = append(cmd.Env, env...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	switch err := cmd.Run().(type) {
+	case nil:
+		code = 0
+	case *exec.ExitError:
+		code = err.ExitCode()
+	default:
+		t.Fatalf("run experiments: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestInvalidCheckLevelExitsTwo(t *testing.T) {
+	_, stderr, code := experiments(t, nil, append([]string{"-check", "bogus"}, tinyGrid...)...)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "done in") {
+		t.Fatalf("simulation ran despite invalid -check:\n%s", stderr)
+	}
+}
+
+func TestWorkerInvalidCheckEnvExitsTwoBeforeAnyLease(t *testing.T) {
+	// The env-var path is validated inside worker mode itself, before
+	// the worker says hello to any coordinator (stdin is empty here, so
+	// asking for a lease would hang or error, not exit 2).
+	_, stderr, code := experiments(t, []string{"CMPSIM_CHECK=bogus"}, "-worker", "pipe")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "CMPSIM_CHECK") {
+		t.Fatalf("stderr does not name the bad variable:\n%s", stderr)
+	}
+}
+
+func TestWorkerRejectsStoreFlag(t *testing.T) {
+	_, stderr, code := experiments(t, nil, "-worker", "pipe", "-store", t.TempDir())
+	if code != 2 || !strings.Contains(stderr, "coordinator") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestFleetKillOneWorkerBitIdenticalOutput is the command-level
+// acceptance run: a 2-worker pipe fleet with worker w1 deterministically
+// killed before its first result must print byte-identical tables to a
+// plain single-process run, and exit 0.
+func TestFleetKillOneWorkerBitIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess simulation; skipped with -short")
+	}
+	want, _, code := experiments(t, nil, tinyGrid...)
+	if code != 0 {
+		t.Fatalf("single-process run exited %d", code)
+	}
+	got, stderr, code := experiments(t, nil, append([]string{
+		"-fleet", "2", "-faultinject", "kind=kill,worker=w1,msg=result,nth=1",
+	}, tinyGrid...)...)
+	if code != 0 {
+		t.Fatalf("fleet run exited %d; stderr:\n%s", code, stderr)
+	}
+	if got != want {
+		t.Errorf("fleet output differs from single-process output:\n--- single\n%s\n--- fleet\n%s", want, got)
+	}
+	for _, needle := range []string{"LOST", "requeue"} {
+		if !strings.Contains(stderr, needle) {
+			t.Errorf("fleet stats missing %q:\n%s", needle, stderr)
+		}
+	}
+}
+
+// TestStoreReuseAcrossRuns pins the shared-store contract: a second run
+// over the same grid simulates nothing and prints identical tables.
+func TestStoreReuseAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess simulation; skipped with -short")
+	}
+	dir := t.TempDir()
+	args := append([]string{"-store", dir}, tinyGrid...)
+	first, stderr1, code := experiments(t, nil, args...)
+	if code != 0 {
+		t.Fatalf("first run exited %d; stderr:\n%s", code, stderr1)
+	}
+	if !strings.Contains(stderr1, "0 points loaded") {
+		t.Errorf("first run should start from an empty store:\n%s", stderr1)
+	}
+	second, stderr2, code := experiments(t, nil, args...)
+	if code != 0 {
+		t.Fatalf("second run exited %d; stderr:\n%s", code, stderr2)
+	}
+	if second != first {
+		t.Errorf("second run's tables differ:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	if !strings.Contains(stderr2, "0 unique points") {
+		t.Errorf("second run simulated points despite the store:\n%s", stderr2)
+	}
+}

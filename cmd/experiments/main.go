@@ -17,6 +17,8 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -28,6 +30,7 @@ import (
 	"cmpsim/internal/audit"
 	"cmpsim/internal/core"
 	"cmpsim/internal/faultinject"
+	"cmpsim/internal/fleet"
 	"cmpsim/internal/report"
 )
 
@@ -59,6 +62,15 @@ func run() int {
 		backoff    = flag.Duration("retry-backoff", 0, "first retry delay, doubled per attempt")
 		faults     = flag.String("faultinject", "", "TEST ONLY: deterministic fault rules, e.g. 'kind=panic,bench=zeus,seed=0'")
 		check      = flag.String("check", "", "runtime self-checking per seed run: off, invariants or shadow (default: the CMPSIM_CHECK environment variable)")
+		storeDir   = flag.String("store", "", "shared result-store directory: finished points persist there and are reused across runs and processes")
+		serveAddr  = flag.String("serve", "", "run as fleet coordinator: serve HTTP workers on this address while running the suite")
+		workerMode = flag.String("worker", "", "run as fleet worker: 'pipe' (leases over stdin/stdout) or a coordinator URL; no experiments are printed")
+		workerID   = flag.String("worker-id", "", "fleet worker id (default wPID)")
+		fleetN     = flag.Int("fleet", 0, "spawn N local pipe-transport workers and run the suite through them")
+		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's full set)")
+		coresN     = flag.Int("cores", 0, "override the simulated core count")
+		warmupN    = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		measureN   = flag.Uint64("measure", 0, "override measured instructions per core")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -89,14 +101,44 @@ func run() int {
 		log.Printf("-retries %d must be >= 0", *retries)
 		return 1
 	}
+	// An invalid check level is a configuration error, not a run failure:
+	// exit 2 before any simulation (or, in worker mode, any lease).
 	if _, err := audit.ParseLevel(*check); err != nil {
 		log.Printf("-check: %v", err)
-		return 1
+		return 2
+	}
+	if *fleetN < 0 {
+		log.Printf("-fleet %d must be >= 0", *fleetN)
+		return 2
+	}
+	if *workerMode != "" && (*fleetN > 0 || *serveAddr != "") {
+		log.Print("-worker excludes -fleet and -serve")
+		return 2
+	}
+	if *fleetN > 0 && *serveAddr != "" {
+		log.Print("-fleet and -serve are mutually exclusive")
+		return 2
+	}
+	if *workerMode != "" {
+		if *storeDir != "" {
+			log.Print("-store belongs on the coordinator, not on workers")
+			return 2
+		}
+		return runWorkerMode(*workerMode, *workerID, *check, *faults, *workers, *shards, *progress)
 	}
 
 	o := core.DefaultOptions()
 	if *quick {
 		o = core.QuickOptions()
+	}
+	if *coresN > 0 {
+		o.Cores = *coresN
+	}
+	if *warmupN > 0 {
+		o.Warmup = *warmupN
+	}
+	if *measureN > 0 {
+		o.Measure = *measureN
 	}
 	if *seeds > 0 {
 		o.Seeds = *seeds
@@ -115,7 +157,24 @@ func run() int {
 		}
 	}
 
-	all := experimentTable(o)
+	benches := core.Benchmarks()
+	if *benchList != "" {
+		valid := make(map[string]bool, len(benches))
+		for _, b := range benches {
+			valid[b] = true
+		}
+		benches = nil
+		for _, b := range strings.Split(*benchList, ",") {
+			b = strings.TrimSpace(b)
+			if !valid[b] {
+				log.Printf("unknown benchmark %q in -benchmarks", b)
+				return 2
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	all := experimentTable(o, benches)
 	if *list {
 		var names []string
 		for n := range all {
@@ -207,6 +266,43 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "[checkpoint %s: %d points restored, %d corrupt records skipped]\n",
 			cp.Path(), cp.Loaded(), cp.Skipped())
 	}
+	var fstore *fleet.Store
+	if *storeDir != "" {
+		st, err := fleet.OpenStore(*storeDir, 0)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer st.Close()
+		fstore = st
+		sched.SetPointStore(st)
+		fmt.Fprintf(os.Stderr, "[store %s: %d points loaded, %d corrupt records skipped]\n",
+			st.Dir(), st.Loaded(), st.Skipped())
+	}
+	var coord *fleet.Coordinator
+	var fleetWait func()
+	if *fleetN > 0 || *serveAddr != "" {
+		coord = fleet.NewCoordinator(fleet.Config{Store: fstore, ExpiryInterval: time.Second})
+		sched.SetPointRunner(coord.RunPoint)
+	}
+	if *fleetN > 0 {
+		wait, err := spawnFleet(coord, *fleetN, workerArgs(*check, *faults))
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fleetWait = wait
+	}
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer ln.Close()
+		go http.Serve(ln, coord.Handler())
+		fmt.Fprintf(os.Stderr, "[fleet coordinator on http://%s — start workers with -worker http://ADDR]\n", ln.Addr())
+	}
 	if obs := buildObserver(*progress, *timeline); obs != nil {
 		sched.SetObserver(obs)
 	}
@@ -216,17 +312,29 @@ func run() int {
 		start := time.Now()
 		all[name]()
 		d := sched.Stats()
-		fmt.Fprintf(os.Stderr, "[%s done in %s: %d points simulated (%d runs), %d served from cache, %d from checkpoint, %d failed]\n",
+		fmt.Fprintf(os.Stderr, "[%s done in %s: %d points simulated (%d runs), %d served from cache, %d from checkpoint, %d from store, %d failed]\n",
 			name, time.Since(start).Round(time.Millisecond),
 			d.Unique-before.Unique, d.SeedRuns-before.SeedRuns,
 			d.Cached()-before.Cached(), d.Restored-before.Restored,
-			d.Failed-before.Failed)
+			d.FromStore-before.FromStore, d.Failed-before.Failed)
 		fmt.Println()
 	}
+	if coord != nil {
+		coord.Shutdown()
+		if fleetWait != nil {
+			fleetWait()
+		}
+		if *serveAddr != "" {
+			// Give HTTP workers one poll cycle to pick up their done reply
+			// before the listener goes away with the process.
+			time.Sleep(2 * fleet.DefaultPollInterval)
+		}
+		printFleetStats(os.Stderr, coord.Stats())
+	}
 	total := sched.Stats()
-	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d restored, %d failed, %d workers]\n",
+	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d restored, %d from store, %d failed, %d workers]\n",
 		time.Since(suiteStart).Round(time.Millisecond),
-		total.Unique, total.Cached(), total.Restored, total.Failed, sched.Workers())
+		total.Unique, total.Cached(), total.Restored, total.FromStore, total.Failed, sched.Workers())
 	if total.Failed > 0 {
 		log.Printf("%d point(s) failed; their rows are marked FAILED", total.Failed)
 		return 1
@@ -331,8 +439,9 @@ func emit(text func(), rows any, csvFn func() error) {
 }
 
 // experimentTable maps experiment names to runners that print results.
-func experimentTable(o core.Options) map[string]func() {
-	benches := core.Benchmarks()
+// benches restricts most studies' benchmark set; fig10 and the core
+// sweeps pin their own benchmarks as the paper does.
+func experimentTable(o core.Options, benches []string) map[string]func() {
 	w := os.Stdout
 	var comprRows func() []core.CompressionRow
 	{

@@ -8,11 +8,14 @@
 //
 //	{"v":1,"crc":<IEEE CRC-32 of data>,"data":{benchmark,mechanisms,options,point}}
 //
-// The data payload stores the point's canonical cache key alongside the
-// full Point (all seed runs plus the runtime summary). Restores are
-// bit-identical to fresh simulation: every numeric field round-trips
-// exactly through encoding/json (shortest-form float encoding), which
-// preserves the PR 1 determinism contract across process restarts.
+// The data payload is a PointRecord (record.go): the point's canonical
+// identity alongside the full Point (all seed runs plus the runtime
+// summary). Restores are bit-identical to fresh simulation: every
+// numeric field round-trips exactly through encoding/json
+// (shortest-form float encoding), which preserves the PR 1 determinism
+// contract across process restarts. The identity is derived by the same
+// canonical-key function the scheduler cache and the shared result
+// store use, so the three can never disagree.
 //
 // Corruption handling: a record whose line fails to parse, whose CRC
 // mismatches, or whose run count disagrees with its options is counted
@@ -34,15 +37,6 @@ import (
 // checkpointVersion guards the record schema; bump on incompatible
 // changes so old files are skipped rather than misread.
 const checkpointVersion = 1
-
-// checkpointData is the checksummed payload of one record: the point's
-// canonical cache key plus the finished Point.
-type checkpointData struct {
-	Benchmark  string     `json:"benchmark"`
-	Mechanisms Mechanisms `json:"mechanisms"`
-	Options    Options    `json:"options"`
-	Point      Point      `json:"point"`
-}
 
 // checkpointLine is one JSONL line on disk.
 type checkpointLine struct {
@@ -99,17 +93,19 @@ func (c *Checkpoint) load() error {
 			c.skipped++
 			continue
 		}
-		var d checkpointData
+		var d PointRecord
 		if err := json.Unmarshal(rec.Data, &d); err != nil {
 			c.skipped++
 			continue
 		}
-		opts := canonicalOpts(d.Options)
-		if opts.Seeds < 1 || len(d.Point.Runs) != opts.Seeds {
+		// Canonicalize defensively (files written by older versions may
+		// carry raw options) and revalidate before trusting the record.
+		d.Options = canonicalOpts(d.Options)
+		if d.Validate() != nil {
 			c.skipped++
 			continue
 		}
-		c.points[pointKey{bench: d.Benchmark, mech: d.Mechanisms, opts: opts}] = d.Point
+		c.points[canonicalKey(d.Benchmark, d.Mechanisms, d.Options)] = d.Point
 		c.loaded++
 	}
 	if err := sc.Err(); err != nil {
@@ -176,7 +172,7 @@ func (c *Checkpoint) restore(k pointKey, e *pointEntry) bool {
 // add appends one finished point as a checksummed record and syncs, so
 // a kill at any moment loses at most the record being written.
 func (c *Checkpoint) add(k pointKey, p Point) error {
-	data, err := json.Marshal(checkpointData{
+	data, err := json.Marshal(PointRecord{
 		Benchmark: k.bench, Mechanisms: k.mech, Options: k.opts, Point: p,
 	})
 	if err != nil {

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -95,36 +96,29 @@ type FaultHook func(bench, label string, seed int) error
 // auditor's checker classes fire. A nil hook injects nothing.
 type StateFaultHook func(bench, label string, seed int) string
 
+// PointRunner executes one whole data point somewhere other than the
+// local worker pool — internal/fleet's coordinator implements it by
+// leasing the point to a worker process. The options are canonical; the
+// runner must return a Point whose Runs length matches Options.Seeds,
+// bit-identical to a local simulation (the fleet protocol's record
+// round-trip guarantees this).
+type PointRunner func(bench string, m Mechanisms, o Options) (Point, error)
+
+// PointStore is a shared, cross-process cache of finished points (the
+// result-store adapter in internal/fleet implements it over
+// internal/store). Lookup must only return points it can vouch for
+// (checksummed, seed count matching); Add must be safe to call from
+// worker goroutines.
+type PointStore interface {
+	Lookup(bench string, m Mechanisms, o Options) (Point, bool)
+	Add(rec PointRecord) error
+}
+
 // pointKey identifies one unique data point in the scheduler cache.
 type pointKey struct {
 	bench string
 	mech  Mechanisms
 	opts  Options
-}
-
-// canonicalOpts normalizes scheduling-only and aliasing fields so that
-// equivalent requests share one cache entry: Workers, Shards and the
-// robustness knobs (PointTimeout, MaxRetries, RetryBackoff) do not affect
-// simulation results, "stride" names the engine "" already selects, and
-// DecompressionCycles is ignored by config unless DecompressionSet.
-func canonicalOpts(o Options) Options {
-	o.Workers = 0
-	o.Shards = 0
-	o.PointTimeout = 0
-	o.MaxRetries = 0
-	o.RetryBackoff = 0
-	o.CheckLevel = ""
-	if o.PrefetcherKind == "stride" {
-		o.PrefetcherKind = ""
-	}
-	if o.Codec == "fpc" {
-		// The explicit default codec is the same simulation as "".
-		o.Codec = ""
-	}
-	if !o.DecompressionSet {
-		o.DecompressionCycles = 0
-	}
-	return o
 }
 
 // pointEntry is the cache slot for one data point: filled in by seed
@@ -190,6 +184,7 @@ func (e *pointEntry) runSeed(s *Scheduler, seed int) {
 	close(e.done)
 	if e.err == nil {
 		s.checkpointAdd(e.key(), e.point)
+		s.storeAdd(e.key(), e.point)
 	} else {
 		s.noteFailed()
 	}
@@ -198,6 +193,54 @@ func (e *pointEntry) runSeed(s *Scheduler, seed int) {
 		Seeds: len(e.runs), Wall: time.Since(e.started), Err: e.err,
 	}
 	if e.err == nil {
+		ev.Point = &e.point
+	}
+	s.safeNotify(e.notify, ev)
+}
+
+// runRemote executes the whole point through the installed PointRunner
+// (the fleet lease adapter) and publishes the result exactly like the
+// last local seed job would: future resolved, checkpoint/store fed,
+// finish event fired. Runner panics are isolated into point errors so a
+// broken transport cannot crash the process.
+func (e *pointEntry) runRemote(s *Scheduler, r PointRunner) {
+	p, err := func() (p Point, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = &panicError{val: rec, stack: string(debug.Stack())}
+			}
+		}()
+		return r(e.bench, e.mech, e.opts)
+	}()
+	if err == nil && len(p.Runs) != e.opts.Seeds {
+		err = fmt.Errorf("core: remote runner returned %d runs for %d seeds", len(p.Runs), e.opts.Seeds)
+	}
+	if err != nil {
+		var pe *PointError
+		if !errors.As(err, &pe) {
+			err = e.newPointError(0, 1, err)
+		}
+	}
+	e.mu.Lock()
+	if err != nil {
+		e.err = err
+	} else {
+		e.point = p
+		e.runs = p.Runs
+	}
+	e.mu.Unlock()
+	close(e.done)
+	if err == nil {
+		s.checkpointAdd(e.key(), e.point)
+		s.storeAdd(e.key(), e.point)
+	} else {
+		s.noteFailed()
+	}
+	ev := PointEvent{
+		Kind: PointFinish, Benchmark: e.bench, Mechanisms: e.mech, Options: e.opts,
+		Seeds: e.opts.Seeds, Wall: time.Since(e.started), Err: e.err,
+	}
+	if err == nil {
 		ev.Point = &e.point
 	}
 	s.safeNotify(e.notify, ev)
@@ -243,16 +286,20 @@ type Scheduler struct {
 	faultHook  FaultHook
 	stateFault StateFaultHook
 	checkpoint *Checkpoint
+	store      PointStore
+	runner     PointRunner
 
-	requests uint64
-	unique   uint64
-	seedRuns uint64
-	restored uint64
-	failed   uint64
-	retries  uint64
+	requests  uint64
+	unique    uint64
+	seedRuns  uint64
+	restored  uint64
+	fromStore uint64
+	failed    uint64
+	retries   uint64
 
 	obsPanicOnce sync.Once // first observer panic reported to stderr
 	cpErrOnce    sync.Once // first checkpoint write error reported
+	stErrOnce    sync.Once // first result-store write error reported
 }
 
 // SetObserver installs (or, with nil, removes) the progress observer.
@@ -294,6 +341,29 @@ func (s *Scheduler) SetCheckpoint(cp *Checkpoint) {
 	s.mu.Unlock()
 }
 
+// SetPointStore attaches a shared cross-process result store: finished
+// points are appended to it, and submissions it already holds are
+// restored without simulating (PointRestored events, counted in
+// FromStore). Attach before the study drivers run. A nil store detaches.
+func (s *Scheduler) SetPointStore(ps PointStore) {
+	s.mu.Lock()
+	s.store = ps
+	s.mu.Unlock()
+}
+
+// SetPointRunner installs (or, with nil, removes) a remote point
+// executor: newly submitted points are handed to it — one goroutine per
+// point, the runner is expected to do its own admission control —
+// instead of fanning seed jobs over the local worker pool. The
+// determinism contract is unchanged: futures resolve with the same
+// bit-identical Points a local run produces. Install before the study
+// drivers run.
+func (s *Scheduler) SetPointRunner(r PointRunner) {
+	s.mu.Lock()
+	s.runner = r
+	s.mu.Unlock()
+}
+
 // safeNotify delivers ev to fn, recovering observer panics so they
 // cannot kill a worker goroutine. The first panic is reported once to
 // stderr; later ones are dropped.
@@ -327,6 +397,40 @@ func (s *Scheduler) checkpointAdd(k pointKey, p Point) {
 			fmt.Fprintf(os.Stderr, "core: checkpoint write failed: %v\n", err)
 		})
 	}
+}
+
+// storeAdd appends a finished point to the attached result store, if
+// any. Like checkpoint writes, store write failures must not fail the
+// point: they are reported to stderr once and otherwise dropped.
+func (s *Scheduler) storeAdd(k pointKey, p Point) {
+	s.mu.Lock()
+	ps := s.store
+	s.mu.Unlock()
+	if ps == nil {
+		return
+	}
+	if err := ps.Add(PointRecord{Benchmark: k.bench, Mechanisms: k.mech, Options: k.opts, Point: p}); err != nil {
+		s.stErrOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "core: result-store write failed: %v\n", err)
+		})
+	}
+}
+
+// storeRestore fills e from the attached result store, if the point is
+// there. Called by Submit with the scheduler lock held; it touches only
+// e (not yet shared).
+func (s *Scheduler) storeRestore(k pointKey, e *pointEntry) bool {
+	if s.store == nil {
+		return false
+	}
+	p, ok := s.store.Lookup(k.bench, k.mech, k.opts)
+	if !ok {
+		return false
+	}
+	e.point = p
+	e.runs = p.Runs
+	close(e.done)
+	return true
 }
 
 // noteFailed counts a point that finished with an error.
@@ -411,7 +515,7 @@ func (s *Scheduler) worker() {
 // queued points, PointFinish when the last seed lands (invalid
 // submissions fire PointFinish with the error directly).
 func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
-	key := pointKey{bench: bench, mech: m, opts: canonicalOpts(o)}
+	key := canonicalKey(bench, m, o)
 	s.mu.Lock()
 	s.requests++
 	if e, ok := s.cache[key]; ok {
@@ -452,15 +556,25 @@ func (s *Scheduler) Submit(bench string, m Mechanisms, o Options) *PointFuture {
 	case s.checkpoint != nil && s.checkpoint.restore(key, e):
 		s.restored++
 		kind = PointRestored
+	case s.storeRestore(key, e):
+		s.fromStore++
+		kind = PointRestored
 	default:
 		if s.closed {
 			s.mu.Unlock()
 			panic("core: Submit on closed Scheduler")
 		}
+		s.unique++
+		if r := s.runner; r != nil {
+			// Remote execution: the whole point runs through the lease
+			// adapter; nothing touches the local pool.
+			go e.runRemote(s, r)
+			kind = PointStart
+			break
+		}
 		if s.target < 1 {
 			s.target = runtime.GOMAXPROCS(0)
 		}
-		s.unique++
 		s.seedRuns += uint64(o.Seeds)
 		e.runs = make([]sim.Metrics, o.Seeds)
 		e.pending = o.Seeds
@@ -498,16 +612,20 @@ func (s *Scheduler) Close() {
 // and how many points failed despite isolation and retries.
 type SchedulerStats struct {
 	Requests    uint64 // Submit calls
-	Unique      uint64 // distinct points actually simulated
-	SeedRuns    uint64 // individual seed-level sim.Run jobs executed
+	Unique      uint64 // distinct points actually simulated (locally or via the lease adapter)
+	SeedRuns    uint64 // individual seed-level sim.Run jobs executed locally
 	Restored    uint64 // points served from the checkpoint file
+	FromStore   uint64 // points served from the shared result store
 	Failed      uint64 // points that finished with an error
 	SeedRetries uint64 // retry attempts for retryable seed failures
 }
 
 // Cached returns how many requests were served from the in-process
-// cache (checkpoint restores are counted separately in Restored).
-func (st SchedulerStats) Cached() uint64 { return st.Requests - st.Unique - st.Restored }
+// cache (checkpoint and result-store restores are counted separately
+// in Restored and FromStore).
+func (st SchedulerStats) Cached() uint64 {
+	return st.Requests - st.Unique - st.Restored - st.FromStore
+}
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() SchedulerStats {
@@ -515,7 +633,8 @@ func (s *Scheduler) Stats() SchedulerStats {
 	defer s.mu.Unlock()
 	return SchedulerStats{
 		Requests: s.requests, Unique: s.unique, SeedRuns: s.seedRuns,
-		Restored: s.restored, Failed: s.failed, SeedRetries: s.retries,
+		Restored: s.restored, FromStore: s.fromStore,
+		Failed: s.failed, SeedRetries: s.retries,
 	}
 }
 

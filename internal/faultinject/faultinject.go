@@ -39,6 +39,29 @@ const (
 	// simulator state, and the runtime auditor — at a sufficient
 	// CheckLevel — must catch it (exercises the invariant pipeline).
 	Corrupt
+
+	// Transport faults: consulted by internal/fleet's worker around
+	// protocol messages (Transport method) rather than by the
+	// scheduler's seed hooks. They exercise the coordinator's recovery
+	// matrix — heartbeat loss, lease expiry, duplicate results,
+	// checksum rejection, worker-loss requeue.
+
+	// Drop discards the message: a dropped lease is silently abandoned,
+	// a dropped result is lost in flight (the coordinator requeues the
+	// point when its heartbeats stop), a dropped heartbeat simulates
+	// heartbeat loss.
+	Drop
+	// Delay delivers the message after sleeping StallFor.
+	Delay
+	// Dup delivers the message twice (exercises result idempotency).
+	Dup
+	// CorruptMsg flips a byte in the message payload before sending, so
+	// the coordinator's CRC/decode validation must reject it and requeue.
+	CorruptMsg
+	// Kill terminates the worker while it holds a lease (the worker loop
+	// returns fleet.ErrKilled / the worker process exits), exercising
+	// worker-loss requeue of in-flight points.
+	Kill
 )
 
 // String names the kind as the spec grammar spells it.
@@ -52,10 +75,23 @@ func (k Kind) String() string {
 		return "transient"
 	case Corrupt:
 		return "corrupt"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Dup:
+		return "dup"
+	case CorruptMsg:
+		return "corruptmsg"
+	case Kill:
+		return "kill"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
+
+// transport reports whether the kind acts at the fleet protocol layer.
+func (k Kind) transport() bool { return k >= Drop }
 
 // Rule describes one fault: which seed jobs it matches and what it does
 // to them. Empty Benchmark/Label match anything; note that Seed's zero
@@ -68,13 +104,20 @@ type Rule struct {
 	Seed      int           // AnySeed matches any seed
 	Nth       int           // fire starting at the Nth match (1-based; <1 means 1st)
 	Count     int           // firings before the rule burns out (<1 means 1; Forever = no limit)
-	StallFor  time.Duration // Stall only; 0 means DefaultStall
+	StallFor  time.Duration // Stall/Delay only; 0 means DefaultStall/DefaultDelay
 
 	// Corrupt only: which state corruption to inject (a sim state-fault
 	// name, e.g. "flip-sharer"; sim.Config validation rejects unknown
 	// names) and the simulation step to inject it at (0 = DefaultAfter).
 	Fault string
 	After uint64
+
+	// Transport kinds only: which protocol message the rule acts on
+	// ("lease", "result", "heartbeat"; "" or "*" matches any) and which
+	// worker it targets ("" or "*" matches any) — per-worker targeting is
+	// what makes "kill exactly one worker mid-sweep" deterministic.
+	Msg    string
+	Worker string
 }
 
 // AnySeed makes a rule match every seed.
@@ -91,6 +134,11 @@ const DefaultStall = 30 * time.Second
 // zero: late enough that caches, stream tables and the in-flight table
 // hold real state worth corrupting.
 const DefaultAfter uint64 = 10_000
+
+// DefaultDelay is the transport delay when a Delay rule leaves StallFor
+// zero: long enough to reorder messages, short enough not to trip sane
+// heartbeat timeouts on its own.
+const DefaultDelay = 50 * time.Millisecond
 
 // ErrTransient classifies injected transient faults: errors.Is(err,
 // faultinject.ErrTransient) holds for every error Hook returns.
@@ -153,6 +201,9 @@ func New(rules ...Rule) *Injector {
 		if r.Kind == Stall && r.StallFor <= 0 {
 			r.StallFor = DefaultStall
 		}
+		if r.Kind == Delay && r.StallFor <= 0 {
+			r.StallFor = DefaultDelay
+		}
 		if r.Kind == Corrupt && r.After == 0 {
 			r.After = DefaultAfter
 		}
@@ -168,8 +219,9 @@ func (in *Injector) Hook(bench, label string, seed int) error {
 	in.mu.Lock()
 	var act *ruleState
 	for _, r := range in.rules {
-		if r.Kind == Corrupt || !r.matches(bench, label, seed) {
-			// Corrupt rules act through StateFault, not the fault hook.
+		if r.Kind == Corrupt || r.Kind.transport() || !r.matches(bench, label, seed) {
+			// Corrupt rules act through StateFault and transport rules
+			// through Transport, not the fault hook.
 			continue
 		}
 		r.matched++
@@ -217,6 +269,54 @@ func (in *Injector) StateFault(bench, label string, seed int) string {
 	return fmt.Sprintf("%s@%d", act.Fault, act.After)
 }
 
+// TransportAction is what a fired transport rule tells the fleet layer
+// to do with the message at hand.
+type TransportAction struct {
+	Kind  Kind          // Drop, Delay, Dup, CorruptMsg or Kill
+	Delay time.Duration // Delay only
+}
+
+// Transport is the fleet-facing transport hook: it counts transport
+// rules matching one protocol message (msg is "lease", "result" or
+// "heartbeat"; worker is the worker's identity) and returns the action
+// of the first rule due to fire. The boolean is false when the message
+// should pass untouched. Transport rules that pin a seed never fire
+// (protocol messages carry whole points, not seeds).
+func (in *Injector) Transport(msg, worker, bench, label string) (TransportAction, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var act *ruleState
+	for _, r := range in.rules {
+		if !r.Kind.transport() || !r.matchesTransport(msg, worker, bench, label) {
+			continue
+		}
+		r.matched++
+		if act == nil && r.matched >= r.Nth && (r.Count == Forever || r.fired < r.Count) {
+			r.fired++
+			act = r
+		}
+	}
+	if act == nil {
+		return TransportAction{}, false
+	}
+	return TransportAction{Kind: act.Kind, Delay: act.StallFor}, true
+}
+
+// matchesTransport is the transport-rule matcher: message type, worker
+// identity, benchmark and mechanism label, all with ""/"*" wildcards.
+func (r *ruleState) matchesTransport(msg, worker, bench, label string) bool {
+	if r.Seed != AnySeed {
+		return false
+	}
+	if r.Msg != "" && r.Msg != "*" && r.Msg != msg {
+		return false
+	}
+	if r.Worker != "" && r.Worker != "*" && r.Worker != worker {
+		return false
+	}
+	return r.matches(bench, label, AnySeed)
+}
+
 // Fired reports, per rule in construction order, how many times it has
 // fired (test support).
 func (in *Injector) Fired() []int {
@@ -233,17 +333,22 @@ func (in *Injector) Fired() []int {
 // test-only -faultinject flag of cmd/experiments accepts. Rules are
 // separated by ';', fields within a rule by ',', each field key=value:
 //
-//	kind=panic|stall|transient|corrupt   (required)
+//	kind=panic|stall|transient|corrupt   (required; seed-job faults)
+//	kind=drop|delay|dup|corruptmsg|kill  (transport faults, fleet workers)
 //	bench=NAME                   (default any; "*" explicit any)
 //	label=LABEL                  (mechanism label, default any)
-//	seed=N                       (default any)
+//	seed=N                       (seed-job rules only, default any)
 //	nth=N                        (fire starting at the Nth match, default 1)
 //	count=N                      (firings before burn-out, default 1; -1 forever)
 //	stall=DURATION               (stall rules, default 30s)
 //	fault=NAME                   (corrupt rules, required: a sim state-fault name)
 //	after=N                      (corrupt rules: injection step, default 10000)
+//	msg=lease|result|heartbeat   (transport rules: which message, default any)
+//	worker=ID                    (transport rules: which worker, default any)
+//	delay=DURATION               (delay rules, default 50ms)
 //
-// Example: "kind=panic,bench=zeus,label=base,seed=0;kind=corrupt,fault=flip-sharer"
+// Examples: "kind=panic,bench=zeus,label=base,seed=0;kind=corrupt,fault=flip-sharer"
+// and "kind=kill,worker=w0,msg=lease" (kill worker w0 on its first lease).
 func Parse(spec string) (*Injector, error) {
 	var rules []Rule
 	for _, rs := range strings.Split(spec, ";") {
@@ -269,6 +374,16 @@ func Parse(spec string) (*Injector, error) {
 					r.Kind = Transient
 				case "corrupt":
 					r.Kind = Corrupt
+				case "drop":
+					r.Kind = Drop
+				case "delay":
+					r.Kind = Delay
+				case "dup":
+					r.Kind = Dup
+				case "corruptmsg":
+					r.Kind = CorruptMsg
+				case "kill":
+					r.Kind = Kill
 				default:
 					return nil, fmt.Errorf("faultinject: unknown kind %q", v)
 				}
@@ -312,6 +427,24 @@ func Parse(spec string) (*Injector, error) {
 					return nil, fmt.Errorf("faultinject: bad after %q", v)
 				}
 				r.After = n
+			case "msg":
+				switch v {
+				case "lease", "result", "heartbeat", "*":
+					r.Msg = v
+				default:
+					return nil, fmt.Errorf("faultinject: unknown msg %q", v)
+				}
+			case "worker":
+				if v == "" {
+					return nil, fmt.Errorf("faultinject: empty worker id")
+				}
+				r.Worker = v
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("faultinject: bad delay %q", v)
+				}
+				r.StallFor = d
 			default:
 				return nil, fmt.Errorf("faultinject: unknown field %q", k)
 			}
@@ -324,6 +457,12 @@ func Parse(spec string) (*Injector, error) {
 		}
 		if r.Kind != Corrupt && (r.Fault != "" || r.After != 0) {
 			return nil, fmt.Errorf("faultinject: fault=/after= only apply to kind=corrupt in %q", rs)
+		}
+		if !r.Kind.transport() && (r.Msg != "" || r.Worker != "") {
+			return nil, fmt.Errorf("faultinject: msg=/worker= only apply to transport kinds in %q", rs)
+		}
+		if r.Kind.transport() && r.Seed != AnySeed {
+			return nil, fmt.Errorf("faultinject: transport rule %q cannot pin seed=", rs)
 		}
 		rules = append(rules, r)
 	}

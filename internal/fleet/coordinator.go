@@ -1,0 +1,586 @@
+// The coordinator: owns every pending data point, leases them to
+// workers, tracks heartbeats, and requeues work the moment a worker
+// goes quiet, a lease expires, a response is malformed, or a pipe
+// closes. Its Handle method is the whole protocol state machine —
+// transport-independent and driven identically by ServePipe, the HTTP
+// handler, and tests calling it directly.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+
+	"cmpsim/internal/core"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultLeaseTimeout     = 10 * time.Minute
+	DefaultHeartbeatTimeout = 30 * time.Second
+	DefaultMaxRequeues      = 3
+	DefaultMaxPointFailures = 2
+)
+
+// Config tunes one coordinator. The zero value is usable: defaults
+// above, no store, wall-clock time.
+type Config struct {
+	// LeaseTimeout bounds one lease's total lifetime: a point not
+	// reported back within it is requeued even if heartbeats keep
+	// arriving (a wedged simulation heartbeats forever).
+	LeaseTimeout time.Duration
+
+	// HeartbeatTimeout requeues a lease whose worker has not been heard
+	// from (heartbeat or result) for this long.
+	HeartbeatTimeout time.Duration
+
+	// MaxRequeues bounds how many times one point may be requeued
+	// (worker loss, expiry, malformed results, worker-reported failures)
+	// before the point degrades to a permanent failure.
+	MaxRequeues int
+
+	// MaxPointFailures degrades a point to FAILED(reason) once this many
+	// distinct workers report the same failure for it: the point, not
+	// the workers, is broken.
+	MaxPointFailures int
+
+	// Store, when set, is consulted before leasing (a point already on
+	// disk is served without simulation) and fed every accepted result.
+	Store *Store
+
+	// Now substitutes a fake clock for lease/heartbeat bookkeeping in
+	// tests. Nil means time.Now.
+	Now func() time.Time
+
+	// ExpiryInterval, when positive, runs CheckExpired on a background
+	// ticker until Shutdown. Zero means the owner calls CheckExpired.
+	ExpiryInterval time.Duration
+
+	// Logf, when set, receives one line per notable event (lease,
+	// result, requeue, worker loss). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Point lifecycle inside the coordinator.
+type pointState int
+
+const (
+	statePending pointState = iota // queued, waiting for a worker
+	stateLeased                    // leased out, heartbeats expected
+	stateDone                      // result accepted
+	stateFailed                    // permanently failed
+)
+
+// trackedPoint is the coordinator's bookkeeping for one data point.
+type trackedPoint struct {
+	key   string
+	bench string
+	mech  core.Mechanisms
+	opts  core.Options // canonical
+
+	state    pointState
+	lease    uint64 // current lease id while leased
+	worker   string // current lease holder
+	leasedAt time.Time
+	lastBeat time.Time
+	requeues int
+
+	// failures records, per distinct worker, the failure signature that
+	// worker reported for this point (reason + error text).
+	failures map[string]string
+
+	point core.Point
+	err   error
+	done  chan struct{} // closed exactly once on done/failed
+}
+
+// workerInfo is the per-worker accounting surfaced by Report.
+type workerInfo struct {
+	leases     int
+	results    int
+	failures   int
+	duplicates int
+	malformed  int
+	lost       bool
+}
+
+// Coordinator is the sweep service's server half. Safe for concurrent
+// use from any number of transport goroutines and RunPoint callers.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	points    map[string]*trackedPoint
+	queue     []string // pending keys, FIFO
+	leases    map[uint64]string
+	nextLease uint64
+	workers   map[string]*workerInfo
+	closed    bool
+
+	fromStore  int
+	requeues   int
+	expired    int
+	lost       int
+	duplicates int
+	malformed  int
+
+	stopExpiry chan struct{}
+}
+
+// NewCoordinator builds a coordinator, applying Config defaults and —
+// when ExpiryInterval is set — starting the expiry ticker.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if cfg.MaxRequeues <= 0 {
+		cfg.MaxRequeues = DefaultMaxRequeues
+	}
+	if cfg.MaxPointFailures <= 0 {
+		cfg.MaxPointFailures = DefaultMaxPointFailures
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		points:  make(map[string]*trackedPoint),
+		leases:  make(map[uint64]string),
+		workers: make(map[string]*workerInfo),
+	}
+	if cfg.ExpiryInterval > 0 {
+		c.stopExpiry = make(chan struct{})
+		go c.expiryLoop(cfg.ExpiryInterval)
+	}
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) expiryLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.CheckExpired()
+		case <-c.stopExpiry:
+			return
+		}
+	}
+}
+
+// RunPoint is the core.PointRunner the scheduler drives: it enqueues
+// the point for leasing and blocks until a worker's accepted result (or
+// a permanent failure) resolves it. Concurrent calls for the same key
+// share one tracked point.
+func (c *Coordinator) RunPoint(bench string, m core.Mechanisms, o core.Options) (core.Point, error) {
+	o = core.CanonicalOptions(o)
+	key := core.PointKey(bench, m, o)
+	c.mu.Lock()
+	tp, ok := c.points[key]
+	if !ok {
+		tp = &trackedPoint{
+			key: key, bench: bench, mech: m, opts: o,
+			failures: make(map[string]string),
+			done:     make(chan struct{}),
+		}
+		c.points[key] = tp
+		if c.cfg.Store != nil {
+			if p, hit := c.cfg.Store.LookupKey(key, o.Seeds); hit {
+				tp.state = stateDone
+				tp.point = p
+				c.fromStore++
+				close(tp.done)
+			}
+		}
+		if tp.state == statePending {
+			if c.closed {
+				tp.state = stateFailed
+				tp.err = errors.New("fleet: coordinator is shut down")
+				close(tp.done)
+			} else {
+				c.queue = append(c.queue, key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	<-tp.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return tp.point, tp.err
+}
+
+// Handle runs one protocol request through the state machine and
+// returns the reply. Every transport funnels into it.
+func (c *Coordinator) Handle(m Message) Message {
+	switch m.Type {
+	case MsgHello:
+		c.mu.Lock()
+		c.workerLocked(m.Worker)
+		c.mu.Unlock()
+		return Message{Type: MsgOK}
+	case MsgNext:
+		return c.handleNext(m)
+	case MsgHeartbeat:
+		return c.handleHeartbeat(m)
+	case MsgResult:
+		return c.handleResult(m)
+	default:
+		return Message{Type: MsgError, Error: fmt.Sprintf("fleet: unknown message type %q", m.Type)}
+	}
+}
+
+// workerLocked returns (creating if needed) the row for one worker id.
+func (c *Coordinator) workerLocked(id string) *workerInfo {
+	if id == "" {
+		id = "?"
+	}
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerInfo{}
+		c.workers[id] = w
+	}
+	return w
+}
+
+// handleNext pops the oldest pending point into a fresh lease.
+func (c *Coordinator) handleNext(m Message) Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workerLocked(m.Worker)
+	w.lost = false // a polling worker is alive by definition
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		tp := c.points[key]
+		if tp == nil || tp.state != statePending {
+			continue // resolved while queued (late result, store hit)
+		}
+		c.nextLease++
+		now := c.cfg.Now()
+		tp.state = stateLeased
+		tp.lease = c.nextLease
+		tp.worker = m.Worker
+		tp.leasedAt = now
+		tp.lastBeat = now
+		c.leases[tp.lease] = key
+		w.leases++
+		c.logf("fleet: lease %d: %s/%s -> %s", tp.lease, tp.bench, tp.mech.Label(), m.Worker)
+		mech, opts := tp.mech, tp.opts
+		return Message{
+			Type: MsgLease, Lease: tp.lease, Key: key,
+			Benchmark: tp.bench, Mechanisms: &mech, Options: &opts,
+		}
+	}
+	if c.closed {
+		return Message{Type: MsgDone}
+	}
+	return Message{Type: MsgWait}
+}
+
+// handleHeartbeat refreshes a live lease; a stale one is cancelled so
+// the worker abandons the point.
+func (c *Coordinator) handleHeartbeat(m Message) Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key, ok := c.leases[m.Lease]
+	if !ok {
+		return Message{Type: MsgCancel}
+	}
+	tp := c.points[key]
+	if tp == nil || tp.state != stateLeased || tp.lease != m.Lease {
+		return Message{Type: MsgCancel}
+	}
+	tp.lastBeat = c.cfg.Now()
+	return Message{Type: MsgOK}
+}
+
+// handleResult validates and accepts one reported point (or failure).
+// Duplicate and late results are acknowledged idempotently; malformed
+// ones requeue the point and are counted against the reporting worker.
+func (c *Coordinator) handleResult(m Message) Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workerLocked(m.Worker)
+	key, ok := c.leases[m.Lease]
+	if !ok {
+		// A lease we never issued (or one already retired along with its
+		// point): nothing to do, but tell the worker all is well.
+		w.duplicates++
+		c.duplicates++
+		return Message{Type: MsgOK}
+	}
+	tp := c.points[key]
+	if tp == nil {
+		delete(c.leases, m.Lease)
+		return Message{Type: MsgOK}
+	}
+	if tp.state == stateDone || tp.state == stateFailed {
+		// Late duplicate for an already-resolved point.
+		delete(c.leases, m.Lease)
+		w.duplicates++
+		c.duplicates++
+		return Message{Type: MsgOK}
+	}
+	// Note: m.Lease may be a requeued (stale) lease whose worker turned
+	// out to be alive after all. Its result is still a deterministic
+	// function of the key, so a valid record is accepted below exactly
+	// like one from the current lease holder.
+
+	if m.Error != "" {
+		// Worker-reported failure: the simulation itself failed over
+		// there. Count it per distinct worker; the same signature from
+		// enough workers means the point is broken, not the worker.
+		delete(c.leases, m.Lease)
+		w.failures++
+		sig := m.Reason + ": " + m.Error
+		tp.failures[m.Worker] = sig
+		n := 0
+		for _, s := range tp.failures {
+			if s == sig {
+				n++
+			}
+		}
+		if n >= c.cfg.MaxPointFailures {
+			reason := m.Reason
+			if reason == "" {
+				reason = core.ReasonError
+			}
+			c.failLocked(tp, &core.PointError{
+				Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
+				Attempts: tp.requeues + 1, Reason: reason,
+				Err: fmt.Errorf("fleet: %d workers reported: %s", n, m.Error),
+			})
+			return Message{Type: MsgOK}
+		}
+		c.requeueLocked(tp, fmt.Sprintf("worker %s failure: %s", m.Worker, m.Error))
+		return Message{Type: MsgOK}
+	}
+
+	rec, err := decodeResult(m)
+	if err == nil && rec.Key() != key {
+		err = fmt.Errorf("fleet: result key does not match lease %d", m.Lease)
+	}
+	if err != nil {
+		// Malformed response: never trusted. The lease is spent; the
+		// point goes back in the queue.
+		delete(c.leases, m.Lease)
+		w.malformed++
+		c.malformed++
+		c.requeueLocked(tp, fmt.Sprintf("malformed result from %s: %v", m.Worker, err))
+		return Message{Type: MsgError, Error: err.Error()}
+	}
+
+	delete(c.leases, m.Lease)
+	w.results++
+	c.resolveLocked(tp, rec.Point)
+	return Message{Type: MsgOK}
+}
+
+// decodeResult checks a result message's CRC and validates the record.
+func decodeResult(m Message) (core.PointRecord, error) {
+	var rec core.PointRecord
+	if len(m.Data) == 0 {
+		return rec, errors.New("fleet: result carries no record")
+	}
+	if crc32.ChecksumIEEE(m.Data) != m.CRC {
+		return rec, errors.New("fleet: result checksum mismatch")
+	}
+	if err := json.Unmarshal(m.Data, &rec); err != nil {
+		return rec, fmt.Errorf("fleet: malformed result record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// resolveLocked publishes an accepted result: waiters released, store
+// fed. Callers hold mu.
+func (c *Coordinator) resolveLocked(tp *trackedPoint, p core.Point) {
+	tp.state = stateDone
+	tp.point = p
+	tp.err = nil
+	close(tp.done)
+	c.logf("fleet: done: %s/%s", tp.bench, tp.mech.Label())
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Add(core.NewPointRecord(tp.bench, tp.mech, tp.opts, p)); err != nil {
+			c.logf("fleet: store append failed: %v", err)
+		}
+	}
+}
+
+// failLocked retires a point permanently. Callers hold mu.
+func (c *Coordinator) failLocked(tp *trackedPoint, err error) {
+	tp.state = stateFailed
+	tp.err = err
+	close(tp.done)
+	c.logf("fleet: FAILED %s/%s: %v", tp.bench, tp.mech.Label(), err)
+}
+
+// requeueLocked puts a leased (or just-unleased) point back in the
+// queue, spending one unit of its requeue budget; an exhausted budget
+// degrades the point to a permanent failure. Callers hold mu.
+func (c *Coordinator) requeueLocked(tp *trackedPoint, why string) {
+	if tp.state == stateDone || tp.state == stateFailed {
+		return
+	}
+	// The old lease stays in the lease map on purpose: if the presumed-
+	// dead worker reports after all, its (deterministic) result is still
+	// usable. Entries retire when their result or the point arrives.
+	tp.requeues++
+	c.requeues++
+	if tp.requeues > c.cfg.MaxRequeues {
+		c.failLocked(tp, &core.PointError{
+			Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
+			Attempts: tp.requeues, Reason: core.ReasonError,
+			Err: fmt.Errorf("fleet: requeue budget exhausted after %d attempts (last: %s)", tp.requeues, why),
+		})
+		return
+	}
+	c.logf("fleet: requeue %s/%s (%s)", tp.bench, tp.mech.Label(), why)
+	tp.state = statePending
+	tp.lease = 0
+	tp.worker = ""
+	c.queue = append(c.queue, tp.key)
+}
+
+// CheckExpired requeues every lease whose heartbeats stopped
+// (HeartbeatTimeout since the last one) or whose total lifetime passed
+// LeaseTimeout. Driven by the expiry ticker or called directly.
+func (c *Coordinator) CheckExpired() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	for _, tp := range c.points {
+		if tp.state != stateLeased {
+			continue
+		}
+		switch {
+		case now.Sub(tp.lastBeat) > c.cfg.HeartbeatTimeout:
+			c.expired++
+			c.requeueLocked(tp, fmt.Sprintf("heartbeat lost (worker %s)", tp.worker))
+		case now.Sub(tp.leasedAt) > c.cfg.LeaseTimeout:
+			c.expired++
+			c.requeueLocked(tp, fmt.Sprintf("lease expired (worker %s)", tp.worker))
+		}
+	}
+}
+
+// WorkerLost requeues every lease held by one worker — the pipe
+// transport calls it the instant a worker's stream closes, so loss is
+// detected without waiting out a heartbeat timeout.
+func (c *Coordinator) WorkerLost(worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return // workers draining after Shutdown exited cleanly, not lost
+	}
+	w := c.workerLocked(worker)
+	if w.lost {
+		return
+	}
+	w.lost = true
+	c.lost++
+	for _, tp := range c.points {
+		if tp.state == stateLeased && tp.worker == worker {
+			c.requeueLocked(tp, fmt.Sprintf("worker %s lost", worker))
+		}
+	}
+	c.logf("fleet: worker %s lost", worker)
+}
+
+// Shutdown retires the coordinator: pending and leased points fail (a
+// sweep normally calls it only after every RunPoint returned, so there
+// is nothing left to fail), future next requests get done, and the
+// expiry ticker stops. Idempotent.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, tp := range c.points {
+		if tp.state == statePending || tp.state == stateLeased {
+			c.failLocked(tp, errors.New("fleet: coordinator shut down with point unfinished"))
+		}
+	}
+	c.queue = nil
+	stop := c.stopExpiry
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// WorkerRow is one worker's accounting in Stats.
+type WorkerRow struct {
+	Worker     string
+	Leases     int // leases issued to this worker
+	Results    int // accepted results
+	Failures   int // worker-reported point failures
+	Duplicates int // late/duplicate results (acknowledged, ignored)
+	Malformed  int // results rejected by CRC/validation
+	Lost       bool
+}
+
+// Stats is a snapshot of the coordinator's accounting.
+type Stats struct {
+	Points     int // tracked points
+	FromStore  int // served from the shared store without leasing
+	Completed  int // resolved with an accepted result
+	Failed     int // permanently failed
+	Pending    int // still queued or leased
+	Requeues   int // total requeue events
+	Expired    int // requeues caused by heartbeat/lease expiry
+	Lost       int // workers declared lost
+	Duplicates int // duplicate results across all workers
+	Malformed  int // malformed results across all workers
+	Workers    []WorkerRow
+}
+
+// Stats snapshots the accounting (workers sorted by id).
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Points: len(c.points), FromStore: c.fromStore, Requeues: c.requeues,
+		Expired: c.expired, Lost: c.lost, Duplicates: c.duplicates, Malformed: c.malformed,
+	}
+	for _, tp := range c.points {
+		switch tp.state {
+		case stateDone:
+			st.Completed++
+		case stateFailed:
+			st.Failed++
+		default:
+			st.Pending++
+		}
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		st.Workers = append(st.Workers, WorkerRow{
+			Worker: id, Leases: w.leases, Results: w.results, Failures: w.failures,
+			Duplicates: w.duplicates, Malformed: w.malformed, Lost: w.lost,
+		})
+	}
+	return st
+}

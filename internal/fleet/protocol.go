@@ -1,0 +1,86 @@
+// Package fleet turns a sweep into a fault-tolerant service: a
+// coordinator owns the grid of pending data points and leases them, one
+// at a time, to worker processes that simulate and report back. The
+// protocol is a strict request/response exchange of small JSON messages
+// that works identically over stdin/stdout pipes (one JSONL message per
+// line, lockstep) and HTTP (one POST per message), so the same worker
+// binary serves local fleets and remote ones.
+//
+// Worker → coordinator requests:
+//
+//	hello      {worker}                  announce; reply ok
+//	next       {worker}                  ask for work; reply lease, wait or done
+//	heartbeat  {worker, lease}           point still running; reply ok or cancel
+//	result     {worker, lease, data, crc}   finished point (checksummed
+//	           PointRecord) — or {worker, lease, error, reason} for a failure
+//
+// Coordinator → worker replies:
+//
+//	lease      {lease, key, benchmark, mechanisms, options}
+//	wait                                 nothing pending right now; poll again
+//	done                                 sweep complete; exit cleanly
+//	ok                                   acknowledged
+//	cancel                               the lease is stale; abandon the point
+//	error      {error}                   request rejected (malformed, unknown)
+//
+// Fault tolerance lives entirely in the coordinator (coordinator.go): a
+// lease whose heartbeats stop, whose deadline passes, or whose worker's
+// pipe closes is requeued, with bounded retry accounting; results are
+// CRC-checked and validated before they are trusted, and a late or
+// duplicate result for an already-finished point is acknowledged
+// idempotently (the simulation is deterministic, so every valid result
+// for a key is bit-identical).
+package fleet
+
+import (
+	"encoding/json"
+
+	"cmpsim/internal/core"
+)
+
+// Message types. Requests flow worker → coordinator, replies back.
+const (
+	MsgHello     = "hello"
+	MsgNext      = "next"
+	MsgHeartbeat = "heartbeat"
+	MsgResult    = "result"
+
+	MsgLease  = "lease"
+	MsgWait   = "wait"
+	MsgDone   = "done"
+	MsgOK     = "ok"
+	MsgCancel = "cancel"
+	MsgError  = "error"
+)
+
+// Message is one protocol message in either direction; unused fields
+// are omitted on the wire.
+type Message struct {
+	Type   string `json:"type"`
+	Worker string `json:"worker,omitempty"` // requester id (requests only)
+	Lease  uint64 `json:"lease,omitempty"`  // lease id (lease/heartbeat/result)
+
+	// Lease payload: the point's identity.
+	Key        string           `json:"key,omitempty"`
+	Benchmark  string           `json:"benchmark,omitempty"`
+	Mechanisms *core.Mechanisms `json:"mechanisms,omitempty"`
+	Options    *core.Options    `json:"options,omitempty"` // canonical form
+
+	// Result payload: a core.PointRecord as JSON, guarded by an IEEE
+	// CRC-32 so transport corruption is detected before the record is
+	// trusted (the coordinator additionally validates the record and
+	// checks its key against the lease).
+	Data json.RawMessage `json:"data,omitempty"`
+	CRC  uint32          `json:"crc,omitempty"`
+
+	// Failure payload (worker-side point failure) or rejection detail.
+	Error  string `json:"error,omitempty"`
+	Reason string `json:"reason,omitempty"` // core.Reason* taxonomy when known
+}
+
+// Caller is the worker's view of a coordinator: send one request, get
+// one reply. Implementations must be safe for concurrent use (the
+// worker's heartbeat goroutine shares the caller with its main loop).
+type Caller interface {
+	Call(Message) (Message, error)
+}

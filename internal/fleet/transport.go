@@ -1,0 +1,130 @@
+// Transports. Both carry the same Message state machine: a pipe pair
+// exchanges one JSONL message per line in lockstep (the local-fleet
+// deployment — the coordinator holds each worker's stdin/stdout), and
+// HTTP posts one message per request (remote workers). Pipe transport
+// detects worker loss the instant the stream closes; HTTP relies on
+// heartbeat expiry.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// ServePipe drives the coordinator from one worker's message stream
+// (reply written for every request, in order) until the stream ends.
+// On EOF — the worker exited, cleanly or not — every lease held by the
+// worker the stream identified is requeued via WorkerLost. A clean EOF
+// returns nil.
+func (c *Coordinator) ServePipe(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	var workerID string
+	lost := func() {
+		if workerID != "" {
+			c.WorkerLost(workerID)
+		}
+	}
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			lost()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("fleet: read worker stream: %w", err)
+		}
+		if m.Worker != "" {
+			workerID = m.Worker
+		}
+		if err := enc.Encode(c.Handle(m)); err != nil {
+			lost()
+			return fmt.Errorf("fleet: write worker stream: %w", err)
+		}
+	}
+}
+
+// PipeCaller is the worker's end of a pipe transport: requests written
+// to w, replies read from r, strictly one at a time (the mutex keeps
+// the heartbeat goroutine's exchanges from interleaving with the main
+// loop's).
+type PipeCaller struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+// NewPipeCaller wraps a request writer and a reply reader.
+func NewPipeCaller(r io.Reader, w io.Writer) *PipeCaller {
+	return &PipeCaller{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+}
+
+// Call sends one request and reads its reply.
+func (p *PipeCaller) Call(m Message) (Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(m); err != nil {
+		return Message{}, fmt.Errorf("fleet: send %s: %w", m.Type, err)
+	}
+	var resp Message
+	if err := p.dec.Decode(&resp); err != nil {
+		return Message{}, fmt.Errorf("fleet: reply to %s: %w", m.Type, err)
+	}
+	return resp, nil
+}
+
+// Handler exposes the coordinator over HTTP: POST one Message as JSON,
+// receive the reply Message. Worker loss over HTTP is detected only by
+// heartbeat expiry — there is no stream to close.
+func (c *Coordinator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "fleet: POST one protocol message", http.StatusMethodNotAllowed)
+			return
+		}
+		var m Message
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			http.Error(w, fmt.Sprintf("fleet: malformed message: %v", err), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Handle(m))
+	})
+}
+
+// HTTPCaller is the worker's end of an HTTP transport.
+type HTTPCaller struct {
+	URL    string
+	Client *http.Client // nil = http.DefaultClient
+}
+
+// Call posts one request and decodes the reply.
+func (h *HTTPCaller) Call(m Message) (Message, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return Message{}, fmt.Errorf("fleet: encode %s: %w", m.Type, err)
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(h.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Message{}, fmt.Errorf("fleet: post %s: %w", m.Type, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return Message{}, fmt.Errorf("fleet: coordinator returned %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var out Message
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Message{}, fmt.Errorf("fleet: decode reply to %s: %w", m.Type, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+// Fleet progress rendering: the per-worker accounting table and the
+// sweep totals line a coordinator prints after a distributed run. The
+// row types mirror internal/fleet's stats without importing it, so
+// report stays a pure rendering layer.
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// FleetWorkerRow is one worker's accounting.
+type FleetWorkerRow struct {
+	Worker     string
+	Leases     int
+	Results    int
+	Failures   int
+	Duplicates int
+	Malformed  int
+	Lost       bool
+}
+
+// FleetTotals is the sweep-wide accounting.
+type FleetTotals struct {
+	Points     int
+	FromStore  int
+	Completed  int
+	Failed     int
+	Requeues   int
+	Expired    int
+	Lost       int
+	Duplicates int
+	Malformed  int
+}
+
+// Fleet prints the per-worker table followed by the totals line.
+func Fleet(w io.Writer, rows []FleetWorkerRow, t FleetTotals) {
+	fmt.Fprintln(w, "Fleet: per-worker progress")
+	fmt.Fprintf(w, "  %-12s %7s %7s %8s %5s %9s %5s\n",
+		"worker", "leases", "results", "failures", "dups", "malformed", "lost")
+	for _, r := range rows {
+		lost := ""
+		if r.Lost {
+			lost = "LOST"
+		}
+		fmt.Fprintf(w, "  %-12s %7d %7d %8d %5d %9d %5s\n",
+			r.Worker, r.Leases, r.Results, r.Failures, r.Duplicates, r.Malformed, lost)
+	}
+	fmt.Fprintf(w, "  totals: %d points (%d from store, %d completed, %d failed), %d requeues (%d expired), %d workers lost, %d duplicate results, %d malformed\n",
+		t.Points, t.FromStore, t.Completed, t.Failed, t.Requeues, t.Expired, t.Lost, t.Duplicates, t.Malformed)
+}

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseRecord guards the store's single record-parsing path: on
+// arbitrary input it must never panic, and any record it accepts must
+// satisfy the invariants every reader relies on (non-empty key, valid
+// JSON value). Valid encodings round-trip exactly.
+func FuzzParseRecord(f *testing.F) {
+	seed := func(key string, value []byte) {
+		rec, err := EncodeRecord(key, value)
+		if err == nil {
+			f.Add(rec)
+		}
+	}
+	seed("k", []byte(`{"x":1}`))
+	seed("point-key", []byte(`{"benchmark":"zeus","point":{"runs":[1,2]}}`))
+	f.Add([]byte(`{"v":1,"crc":0,"data":{"key":"k","value":1}}`))
+	f.Add([]byte(`{"v":99,"crc":12,"data":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		key, value, err := ParseRecord(bytes.TrimSuffix(line, []byte{'\n'}))
+		if err != nil {
+			return
+		}
+		if key == "" {
+			t.Fatal("accepted record with empty key")
+		}
+		if !json.Valid(value) {
+			t.Fatalf("accepted record with invalid JSON value: %s", value)
+		}
+		// A record that parses must re-encode to something that parses to
+		// the same payload (the writer/reader agree on the format).
+		rec, err := EncodeRecord(key, value)
+		if err != nil {
+			t.Fatalf("re-encode of accepted record failed: %v", err)
+		}
+		k2, v2, err := ParseRecord(bytes.TrimSuffix(rec, []byte{'\n'}))
+		if err != nil {
+			t.Fatalf("re-encoded record does not parse: %v", err)
+		}
+		if k2 != key || !bytes.Equal(v2, value) {
+			t.Fatalf("round trip drifted: %q/%s -> %q/%s", key, value, k2, v2)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Command-level crash-recovery acceptance tests: the coordinator is
+// killed mid-sweep by a deterministic fault rule (or drained by a
+// signal) and restarted against the same -store; the resumed run must
+// print byte-identical tables to an undisturbed single-process run,
+// with nothing already stored ever re-simulated.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink for streaming subprocess
+// output while the process still runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// proc is one asynchronously running experiments subprocess.
+type proc struct {
+	cmd    *exec.Cmd
+	out    *syncBuffer
+	errOut *syncBuffer
+}
+
+// startExperiments launches the test binary as the experiments command
+// without waiting for it.
+func startExperiments(t *testing.T, args ...string) *proc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: exec.Command(exe, args...), out: &syncBuffer{}, errOut: &syncBuffer{}}
+	p.cmd.Env = append(os.Environ(), "CMPSIM_EXPERIMENTS_MAIN=1")
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.errOut
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// wait blocks for exit and returns the exit code.
+func (p *proc) wait(t *testing.T) int {
+	t.Helper()
+	switch err := p.cmd.Wait().(type) {
+	case nil:
+		return 0
+	case *exec.ExitError:
+		return err.ExitCode()
+	default:
+		t.Fatalf("wait: %v", err)
+		return -1
+	}
+}
+
+// waitStderr polls the process's stderr until needle appears.
+func (p *proc) waitStderr(t *testing.T, needle string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(p.errOut.String(), needle) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stderr never contained %q:\n%s", needle, p.errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// reserveAddr picks a free localhost port and releases it for reuse.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCoordinatorKillRestartBitIdenticalOutput is the tentpole
+// acceptance run: an HTTP coordinator is crashed (exit 7) by a
+// kind=killcoord rule as a worker's second result arrives, then
+// restarted against the same -store while the worker retries through
+// the outage. The resumed run must print byte-identical tables to an
+// undisturbed run, load the pre-crash point from the store, and report
+// journal-recovered points — proving nothing stored was re-simulated.
+func TestCoordinatorKillRestartBitIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess simulation; skipped with -short")
+	}
+	want, _, code := experiments(t, nil, tinyGrid...)
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+
+	dir := t.TempDir()
+	addr := reserveAddr(t)
+	coordArgs := func(faults string) []string {
+		args := []string{"-serve", addr, "-store", dir}
+		if faults != "" {
+			args = append(args, "-faultinject", faults)
+		}
+		return append(args, tinyGrid...)
+	}
+
+	// Incarnation 1 crashes on the second result: one point is stored,
+	// one result is lost in flight (its lease survives in the journal).
+	c1 := startExperiments(t, coordArgs("kind=killcoord,msg=result,nth=2")...)
+	w := startExperiments(t, "-worker", "http://"+addr, "-worker-id", "cw0",
+		"-worker-retries", "40", "-worker-backoff", "100ms")
+	if code := c1.wait(t); code != 7 {
+		t.Fatalf("crashed coordinator exited %d, want 7; stderr:\n%s", code, c1.errOut.String())
+	}
+	if !strings.Contains(c1.errOut.String(), "injected coordinator crash") {
+		t.Fatalf("crash not attributed to the rule:\n%s", c1.errOut.String())
+	}
+
+	// Incarnation 2: same store, no fault rules. The worker reconnects
+	// and redelivers the in-flight result under its recovered lease.
+	got, stderr2, code := experiments(t, nil, coordArgs("")...)
+	if code != 0 {
+		t.Fatalf("restarted coordinator exited %d; stderr:\n%s", code, stderr2)
+	}
+	if got != want {
+		t.Errorf("resumed output differs from undisturbed run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if code := w.wait(t); code != 0 {
+		t.Fatalf("worker exited %d across the restart; stderr:\n%s", code, w.errOut.String())
+	}
+	// FromStore accounting proves the stored point was never
+	// re-simulated, and the journal replay is visible in the stats.
+	if !strings.Contains(stderr2, "1 points loaded") {
+		t.Errorf("restart did not load the pre-crash store:\n%s", stderr2)
+	}
+	if !strings.Contains(stderr2, "recovered from journal") {
+		t.Errorf("restart did not replay the journal:\n%s", stderr2)
+	}
+	if !strings.Contains(stderr2, "(1 from store,") {
+		t.Errorf("stored point not served from the store on restart:\n%s", stderr2)
+	}
+}
+
+// TestCoordinatorDrainSignalExitsFourAndResumes pins the graceful-drain
+// contract end to end: SIGINT on a coordinator with no workers abandons
+// every pending point (exit 4, nothing re-leased), and a follow-up
+// fleet run over the same store finishes the sweep with byte-identical
+// tables.
+func TestCoordinatorDrainSignalExitsFourAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess simulation; skipped with -short")
+	}
+	want, _, code := experiments(t, nil, tinyGrid...)
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+
+	dir := t.TempDir()
+	addr := reserveAddr(t)
+	c1 := startExperiments(t, append([]string{
+		"-serve", addr, "-store", dir, "-drain-timeout", "2s",
+	}, tinyGrid...)...)
+	c1.waitStderr(t, "fleet coordinator on")
+	if err := c1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := c1.wait(t); code != 4 {
+		t.Fatalf("drained coordinator exited %d, want 4; stderr:\n%s", code, c1.errOut.String())
+	}
+	if !strings.Contains(c1.errOut.String(), "drain: complete") {
+		t.Fatalf("no drain trace:\n%s", c1.errOut.String())
+	}
+
+	got, stderr2, code := experiments(t, nil, append([]string{"-fleet", "1", "-store", dir}, tinyGrid...)...)
+	if code != 0 {
+		t.Fatalf("resumed run exited %d; stderr:\n%s", code, stderr2)
+	}
+	if got != want {
+		t.Errorf("resumed output differs:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestWorkerDrainSignalExitsFour pins the worker half of the drain
+// state machine: an idle worker (its coordinator forever answers wait)
+// exits 4 on SIGTERM instead of dying dirty.
+func TestWorkerDrainSignalExitsFour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test; skipped with -short")
+	}
+	addr := reserveAddr(t)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"type":"wait"}`)
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	w := startExperiments(t, "-worker", "http://"+addr, "-worker-id", "dw0")
+	time.Sleep(500 * time.Millisecond) // let it hello and settle into polling
+	if err := w.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := w.wait(t); code != 4 {
+		t.Fatalf("drained worker exited %d, want 4; stderr:\n%s", code, w.errOut.String())
+	}
+}

@@ -11,13 +11,17 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/core"
@@ -28,8 +32,10 @@ import (
 
 // runWorkerMode runs the process as one fleet worker until the
 // coordinator says done. Exit codes: 0 done, 1 transport/config error,
-// 2 invalid check level (before any lease), 3 killed by a fault rule.
-func runWorkerMode(mode, id, check, faults string, workers, shards int, progress bool) int {
+// 2 invalid check level (before any lease), 3 killed by a fault rule,
+// 4 drained by SIGINT/SIGTERM (in-flight point finished and reported
+// first), 130 second signal.
+func runWorkerMode(mode, id, check, faults string, workers, shards, callRetries int, callBackoff time.Duration, progress bool) int {
 	// The audit tier is the worker's own (satellite contract: CheckLevel
 	// is canonicalized out of the point key, so leases never carry it).
 	// Both the flag — validated by run() already — and the environment
@@ -74,8 +80,23 @@ func runWorkerMode(mode, id, check, faults string, workers, shards int, progress
 			fmt.Fprintf(os.Stderr, "["+format+"]\n", args...)
 		}
 	}
+	// First SIGINT/SIGTERM drains the worker: the in-flight point (if
+	// any) is finished and reported, then the loop exits. A second
+	// signal exits immediately.
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logf("fleet: worker %s: draining on signal (signal again to exit now)", id)
+		close(drain)
+		<-sig
+		os.Exit(130)
+	}()
+
 	cfg := fleet.WorkerConfig{
-		ID: id, Fault: injector, Logf: logf,
+		ID: id, Fault: injector, Logf: logf, Drain: drain,
+		MaxCallRetries: callRetries, CallBackoff: callBackoff,
 		Runner: func(bench string, m core.Mechanisms, o core.Options) (core.Point, error) {
 			// Leases carry canonical options; the worker re-applies its own
 			// scheduling and audit knobs (none change the point's identity).
@@ -85,12 +106,15 @@ func runWorkerMode(mode, id, check, faults string, workers, shards int, progress
 			return sched.Submit(bench, m, o).Wait()
 		},
 	}
-	switch err := fleet.RunWorker(cfg, caller); err {
-	case nil:
+	switch err := fleet.RunWorker(cfg, caller); {
+	case err == nil:
 		return 0
-	case fleet.ErrKilled:
+	case errors.Is(err, fleet.ErrKilled):
 		log.Printf("worker %s: %v", id, err)
 		return 3
+	case errors.Is(err, fleet.ErrDrained):
+		log.Printf("worker %s: %v", id, err)
+		return 4
 	default:
 		log.Printf("worker %s: %v", id, err)
 		return 1
@@ -165,8 +189,9 @@ func printFleetStats(w io.Writer, st fleet.Stats) {
 		})
 	}
 	report.Fleet(w, rows, report.FleetTotals{
-		Points: st.Points, FromStore: st.FromStore, Completed: st.Completed,
-		Failed: st.Failed, Requeues: st.Requeues, Expired: st.Expired,
-		Lost: st.Lost, Duplicates: st.Duplicates, Malformed: st.Malformed,
+		Points: st.Points, FromStore: st.FromStore, Recovered: st.Recovered,
+		Completed: st.Completed, Failed: st.Failed, Requeues: st.Requeues,
+		Expired: st.Expired, Lost: st.Lost, Duplicates: st.Duplicates,
+		Malformed: st.Malformed,
 	})
 }

@@ -20,11 +20,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cmpsim/internal/audit"
@@ -67,6 +70,9 @@ func run() int {
 		workerMode = flag.String("worker", "", "run as fleet worker: 'pipe' (leases over stdin/stdout) or a coordinator URL; no experiments are printed")
 		workerID   = flag.String("worker-id", "", "fleet worker id (default wPID)")
 		fleetN     = flag.Int("fleet", 0, "spawn N local pipe-transport workers and run the suite through them")
+		wRetries   = flag.Int("worker-retries", 0, "worker: retries per coordinator exchange before giving up (0 = default, -1 = none)")
+		wBackoff   = flag.Duration("worker-backoff", 0, "worker: base delay between coordinator-exchange retries (0 = default)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "coordinator: how long a drain (first SIGINT/SIGTERM) waits for in-flight points")
 		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's full set)")
 		coresN     = flag.Int("cores", 0, "override the simulated core count")
 		warmupN    = flag.Uint64("warmup", 0, "override warmup instructions per core")
@@ -124,7 +130,7 @@ func run() int {
 			log.Print("-store belongs on the coordinator, not on workers")
 			return 2
 		}
-		return runWorkerMode(*workerMode, *workerID, *check, *faults, *workers, *shards, *progress)
+		return runWorkerMode(*workerMode, *workerID, *check, *faults, *workers, *shards, *wRetries, *wBackoff, *progress)
 	}
 
 	o := core.DefaultOptions()
@@ -245,12 +251,14 @@ func run() int {
 	// memoizes every unique data point, so studies sharing points (e.g.
 	// table3/fig3/fig5, or any study's Base runs) simulate them once.
 	sched := core.DefaultScheduler()
+	var injector *faultinject.Injector
 	if *faults != "" {
 		in, err := faultinject.Parse(*faults)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
+		injector = in
 		sched.SetFaultHook(in.Hook)
 		sched.SetStateFaultHook(in.StateFault)
 		fmt.Fprintln(os.Stderr, "[faultinject active: results are intentionally degraded]")
@@ -281,9 +289,49 @@ func run() int {
 	}
 	var coord *fleet.Coordinator
 	var fleetWait func()
+	var drained atomic.Bool
 	if *fleetN > 0 || *serveAddr != "" {
-		coord = fleet.NewCoordinator(fleet.Config{Store: fstore, ExpiryInterval: time.Second})
+		// The journal lives beside the store's shards: a coordinator
+		// killed mid-sweep and restarted with the same -store replays it
+		// (plus the store scan) and resumes with nothing re-simulated.
+		var journal *fleet.Journal
+		if *storeDir != "" {
+			j, err := fleet.OpenJournal(*storeDir)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			defer j.Close()
+			journal = j
+			fmt.Fprintf(os.Stderr, "[journal %s: %s]\n", j.Path(), j)
+		}
+		coord = fleet.NewCoordinator(fleet.Config{
+			Store: fstore, Journal: journal, ExpiryInterval: time.Second,
+			Fault: injector,
+			Crash: func(kind faultinject.Kind) {
+				// A real crash: no store flush, no journal truncation, no
+				// deferred cleanup. Everything durable is already fsync'd.
+				fmt.Fprintf(os.Stderr, "[fleet: injected coordinator crash (%s)]\n", kind)
+				os.Exit(7)
+			},
+		})
 		sched.SetPointRunner(coord.RunPoint)
+		// First SIGINT/SIGTERM drains: no new leases, in-flight points get
+		// -drain-timeout to finish, then the suite ends with exit 4. A
+		// second signal exits immediately with 130.
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			go func() {
+				<-sig
+				os.Exit(130)
+			}()
+			fmt.Fprintf(os.Stderr, "[drain: signal received; waiting up to %v for in-flight points (signal again to exit now)]\n", *drainTO)
+			drained.Store(true)
+			abandoned := coord.DrainAndWait(*drainTO)
+			fmt.Fprintf(os.Stderr, "[drain: complete; %d points abandoned (journal + store keep them resumable)]\n", abandoned)
+		}()
 	}
 	if *fleetN > 0 {
 		wait, err := spawnFleet(coord, *fleetN, workerArgs(*check, *faults))
@@ -300,7 +348,8 @@ func run() int {
 			return 1
 		}
 		defer ln.Close()
-		go http.Serve(ln, coord.Handler())
+		srv := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go srv.Serve(ln)
 		fmt.Fprintf(os.Stderr, "[fleet coordinator on http://%s — start workers with -worker http://ADDR]\n", ln.Addr())
 	}
 	if obs := buildObserver(*progress, *timeline); obs != nil {
@@ -335,6 +384,10 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "[suite done in %s: %d unique points, %d cached requests, %d restored, %d from store, %d failed, %d workers]\n",
 		time.Since(suiteStart).Round(time.Millisecond),
 		total.Unique, total.Cached(), total.Restored, total.FromStore, total.Failed, sched.Workers())
+	if drained.Load() {
+		log.Print("sweep drained by signal; rerun with the same -store to resume")
+		return 4
+	}
 	if total.Failed > 0 {
 		log.Printf("%d point(s) failed; their rows are marked FAILED", total.Failed)
 		return 1

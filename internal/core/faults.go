@@ -29,6 +29,7 @@ const (
 	ReasonTimeout   = "timeout"   // the watchdog abandoned a runaway simulation
 	ReasonError     = "error"     // the simulation (or fault hook) returned an error
 	ReasonInvariant = "invariant" // the runtime auditor detected state corruption
+	ReasonDrained   = "drained"   // the sweep was drained (SIGINT/SIGTERM) before the point ran
 )
 
 // ErrPointTimeout marks a seed job abandoned by the per-point watchdog

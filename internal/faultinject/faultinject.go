@@ -62,6 +62,22 @@ const (
 	// returns fleet.ErrKilled / the worker process exits), exercising
 	// worker-loss requeue of in-flight points.
 	Kill
+
+	// Coordinator faults: consulted by the coordinator's Handle (Coord
+	// method) as each worker request arrives, before the message is
+	// processed — the crash loses the request, exactly like a process
+	// dying mid-exchange. They exercise journal replay: a restarted
+	// coordinator must reconstruct pending/leased state from its
+	// write-ahead log and the result store, bit-identically.
+
+	// KillCoord crashes the coordinator process hard (no flush, no
+	// drain — the cmd wiring calls os.Exit) and leaves it down until an
+	// external supervisor restarts it.
+	KillCoord
+	// RestartCoord is the same crash, but signals the supervising
+	// harness (tools/chaossoak, or an in-process test) to restart the
+	// coordinator against the same store immediately.
+	RestartCoord
 )
 
 // String names the kind as the spec grammar spells it.
@@ -85,13 +101,21 @@ func (k Kind) String() string {
 		return "corruptmsg"
 	case Kill:
 		return "kill"
+	case KillCoord:
+		return "killcoord"
+	case RestartCoord:
+		return "restartcoord"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// transport reports whether the kind acts at the fleet protocol layer.
-func (k Kind) transport() bool { return k >= Drop }
+// transport reports whether the kind acts at the fleet protocol layer
+// (worker side).
+func (k Kind) transport() bool { return k >= Drop && k <= Kill }
+
+// coordinator reports whether the kind crashes the coordinator.
+func (k Kind) coordinator() bool { return k == KillCoord || k == RestartCoord }
 
 // Rule describes one fault: which seed jobs it matches and what it does
 // to them. Empty Benchmark/Label match anything; note that Seed's zero
@@ -219,9 +243,10 @@ func (in *Injector) Hook(bench, label string, seed int) error {
 	in.mu.Lock()
 	var act *ruleState
 	for _, r := range in.rules {
-		if r.Kind == Corrupt || r.Kind.transport() || !r.matches(bench, label, seed) {
-			// Corrupt rules act through StateFault and transport rules
-			// through Transport, not the fault hook.
+		if r.Kind == Corrupt || r.Kind.transport() || r.Kind.coordinator() || !r.matches(bench, label, seed) {
+			// Corrupt rules act through StateFault, transport rules
+			// through Transport and coordinator rules through Coord —
+			// none through the seed-job fault hook.
 			continue
 		}
 		r.matched++
@@ -302,6 +327,46 @@ func (in *Injector) Transport(msg, worker, bench, label string) (TransportAction
 	return TransportAction{Kind: act.Kind, Delay: act.StallFor}, true
 }
 
+// Coord is the coordinator-facing crash hook: it counts coordinator
+// rules matching one incoming worker request (msg is the request type —
+// "hello", "next", "heartbeat" or "result" — and worker its sender) and
+// returns the kind of the first rule due to fire. The boolean is false
+// when the coordinator should process the request normally. The caller
+// (fleet.Coordinator via Config.Crash) performs the actual crash.
+func (in *Injector) Coord(msg, worker string) (Kind, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var act *ruleState
+	for _, r := range in.rules {
+		if !r.Kind.coordinator() || !r.matchesCoord(msg, worker) {
+			continue
+		}
+		r.matched++
+		if act == nil && r.matched >= r.Nth && (r.Count == Forever || r.fired < r.Count) {
+			r.fired++
+			act = r
+		}
+	}
+	if act == nil {
+		return 0, false
+	}
+	return act.Kind, true
+}
+
+// matchesCoord is the coordinator-rule matcher: request type and worker
+// identity, both with ""/"*" wildcards. Coordinator rules never match
+// on benchmark/label/seed — hello and next carry no point identity, so
+// schedules are pinned by message counting (nth=) instead.
+func (r *ruleState) matchesCoord(msg, worker string) bool {
+	if r.Msg != "" && r.Msg != "*" && r.Msg != msg {
+		return false
+	}
+	if r.Worker != "" && r.Worker != "*" && r.Worker != worker {
+		return false
+	}
+	return true
+}
+
 // matchesTransport is the transport-rule matcher: message type, worker
 // identity, benchmark and mechanism label, all with ""/"*" wildcards.
 func (r *ruleState) matchesTransport(msg, worker, bench, label string) bool {
@@ -335,6 +400,7 @@ func (in *Injector) Fired() []int {
 //
 //	kind=panic|stall|transient|corrupt   (required; seed-job faults)
 //	kind=drop|delay|dup|corruptmsg|kill  (transport faults, fleet workers)
+//	kind=killcoord|restartcoord          (coordinator crash faults)
 //	bench=NAME                   (default any; "*" explicit any)
 //	label=LABEL                  (mechanism label, default any)
 //	seed=N                       (seed-job rules only, default any)
@@ -344,11 +410,14 @@ func (in *Injector) Fired() []int {
 //	fault=NAME                   (corrupt rules, required: a sim state-fault name)
 //	after=N                      (corrupt rules: injection step, default 10000)
 //	msg=lease|result|heartbeat   (transport rules: which message, default any)
-//	worker=ID                    (transport rules: which worker, default any)
+//	msg=hello|next|heartbeat|result  (coordinator rules: which request)
+//	worker=ID                    (transport/coordinator rules: which worker)
 //	delay=DURATION               (delay rules, default 50ms)
 //
-// Examples: "kind=panic,bench=zeus,label=base,seed=0;kind=corrupt,fault=flip-sharer"
-// and "kind=kill,worker=w0,msg=lease" (kill worker w0 on its first lease).
+// Examples: "kind=panic,bench=zeus,label=base,seed=0;kind=corrupt,fault=flip-sharer",
+// "kind=kill,worker=w0,msg=lease" (kill worker w0 on its first lease), and
+// "kind=killcoord,msg=result,nth=2" (crash the coordinator as the second
+// result report arrives, before it is processed).
 func Parse(spec string) (*Injector, error) {
 	var rules []Rule
 	for _, rs := range strings.Split(spec, ";") {
@@ -384,6 +453,10 @@ func Parse(spec string) (*Injector, error) {
 					r.Kind = CorruptMsg
 				case "kill":
 					r.Kind = Kill
+				case "killcoord":
+					r.Kind = KillCoord
+				case "restartcoord":
+					r.Kind = RestartCoord
 				default:
 					return nil, fmt.Errorf("faultinject: unknown kind %q", v)
 				}
@@ -429,7 +502,7 @@ func Parse(spec string) (*Injector, error) {
 				r.After = n
 			case "msg":
 				switch v {
-				case "lease", "result", "heartbeat", "*":
+				case "hello", "next", "lease", "result", "heartbeat", "*":
 					r.Msg = v
 				default:
 					return nil, fmt.Errorf("faultinject: unknown msg %q", v)
@@ -458,11 +531,22 @@ func Parse(spec string) (*Injector, error) {
 		if r.Kind != Corrupt && (r.Fault != "" || r.After != 0) {
 			return nil, fmt.Errorf("faultinject: fault=/after= only apply to kind=corrupt in %q", rs)
 		}
-		if !r.Kind.transport() && (r.Msg != "" || r.Worker != "") {
-			return nil, fmt.Errorf("faultinject: msg=/worker= only apply to transport kinds in %q", rs)
+		if !r.Kind.transport() && !r.Kind.coordinator() && (r.Msg != "" || r.Worker != "") {
+			return nil, fmt.Errorf("faultinject: msg=/worker= only apply to transport and coordinator kinds in %q", rs)
 		}
-		if r.Kind.transport() && r.Seed != AnySeed {
-			return nil, fmt.Errorf("faultinject: transport rule %q cannot pin seed=", rs)
+		if (r.Kind.transport() || r.Kind.coordinator()) && r.Seed != AnySeed {
+			return nil, fmt.Errorf("faultinject: rule %q cannot pin seed=", rs)
+		}
+		if r.Kind.transport() && (r.Msg == "hello" || r.Msg == "next") {
+			return nil, fmt.Errorf("faultinject: worker transport rules act on lease|result|heartbeat in %q", rs)
+		}
+		if r.Kind.coordinator() {
+			if r.Benchmark != "" || r.Label != "" {
+				return nil, fmt.Errorf("faultinject: bench=/label= do not apply to coordinator rules in %q", rs)
+			}
+			if r.Msg == "lease" {
+				return nil, fmt.Errorf("faultinject: coordinator rules act on hello|next|heartbeat|result in %q", rs)
+			}
 		}
 		rules = append(rules, r)
 	}

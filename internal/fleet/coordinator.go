@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cmpsim/internal/core"
+	"cmpsim/internal/faultinject"
 )
 
 // Defaults for Config's zero values.
@@ -51,6 +52,25 @@ type Config struct {
 	// Store, when set, is consulted before leasing (a point already on
 	// disk is served without simulation) and fed every accepted result.
 	Store *Store
+
+	// Journal, when set, is the durable write-ahead log: every lease
+	// grant, requeue, failure signature, permanent failure and
+	// completion is fsync'd to it before the coordinator acts on the
+	// event, and the replayed state it carries (from OpenJournal) seeds
+	// the new coordinator — leases stay resolvable across a crash and
+	// requeue budgets never restart. Nil journals nothing.
+	Journal *Journal
+
+	// Fault, when set together with Crash, consults coordinator crash
+	// rules (kind=killcoord|restartcoord) as each worker request
+	// arrives; a firing rule invokes Crash before the request is
+	// processed. Test/chaos support only.
+	Fault *faultinject.Injector
+
+	// Crash performs an injected coordinator crash (normally it never
+	// returns: os.Exit in the command, a panic or channel signal in
+	// tests). Nil disables crash rules.
+	Crash func(kind faultinject.Kind)
 
 	// Now substitutes a fake clock for lease/heartbeat bookkeeping in
 	// tests. Nil means time.Now.
@@ -119,9 +139,11 @@ type Coordinator struct {
 	leases    map[uint64]string
 	nextLease uint64
 	workers   map[string]*workerInfo
+	draining  bool
 	closed    bool
 
 	fromStore  int
+	recovered  int
 	requeues   int
 	expired    int
 	lost       int
@@ -155,11 +177,94 @@ func NewCoordinator(cfg Config) *Coordinator {
 		leases:  make(map[uint64]string),
 		workers: make(map[string]*workerInfo),
 	}
+	if cfg.Journal != nil {
+		c.recoverFromJournal()
+	}
 	if cfg.ExpiryInterval > 0 {
 		c.stopExpiry = make(chan struct{})
 		go c.expiryLoop(cfg.ExpiryInterval)
 	}
 	return c
+}
+
+// recoverFromJournal rebuilds tracked points from the journal replay
+// plus a store scan. Runs at construction time, before any transport
+// goroutine exists, so no locking is needed. For every recovered point:
+// a store record wins outright (done, counted FromStore — a stored
+// point is never re-simulated); a journaled permanent failure stays
+// failed; an outstanding lease is reinstated with a fresh heartbeat
+// window (its worker may still be alive and report late); anything else
+// returns to the queue with its requeue budget and failure signatures
+// intact. Keys are processed in sorted order so the rebuilt queue is
+// deterministic across restarts.
+func (c *Coordinator) recoverFromJournal() {
+	rec := &c.cfg.Journal.rec
+	now := c.cfg.Now()
+	c.nextLease = rec.nextLease
+	for _, key := range rec.sortedKeys() {
+		rp := rec.points[key]
+		tp := &trackedPoint{
+			key: key, bench: rp.bench, mech: rp.mech, opts: rp.opts,
+			requeues: rp.requeues, failures: rp.failures,
+			done: make(chan struct{}),
+		}
+		switch {
+		case c.storeHitLocked(tp):
+			// stateDone, point filled, fromStore counted.
+		case rp.failed:
+			tp.state = stateFailed
+			tp.err = &core.PointError{
+				Benchmark: rp.bench, Mechanisms: rp.mech, Options: rp.opts,
+				Attempts: rp.failTries, Reason: rp.failReason,
+				Err: fmt.Errorf("fleet: recovered permanent failure: %s", rp.failError),
+			}
+			close(tp.done)
+		case rp.bench == "":
+			// The grant carrying this point's identity was lost to journal
+			// corruption: nothing usable to rebuild. The new run's RunPoint
+			// recreates the point from scratch.
+			continue
+		case rp.lease != 0:
+			tp.state = stateLeased
+			tp.lease = rp.lease
+			tp.worker = rp.worker
+			tp.leasedAt, tp.lastBeat = now, now
+			c.logf("fleet: recovered lease %d: %s/%s (worker %s)", rp.lease, rp.bench, rp.mech.Label(), rp.worker)
+		default:
+			c.queue = append(c.queue, key)
+		}
+		c.points[key] = tp
+		c.recovered++
+	}
+	// Every granted-but-unresolved lease id stays resolvable: a worker
+	// that computed its point during the outage reports under a lease
+	// the journal remembers, and the result is accepted like any late
+	// result from a presumed-dead worker.
+	for id, key := range rec.leases {
+		if tp, ok := c.points[key]; ok && tp.state != stateDone && tp.state != stateFailed {
+			c.leases[id] = key
+		}
+	}
+	if c.recovered > 0 {
+		c.logf("fleet: journal replay recovered %d points (%d leases live)", c.recovered, len(c.leases))
+	}
+}
+
+// storeHitLocked resolves a tracked point from the store if its record
+// is there: stateDone, waiters released at close, FromStore counted.
+func (c *Coordinator) storeHitLocked(tp *trackedPoint) bool {
+	if c.cfg.Store == nil {
+		return false
+	}
+	p, hit := c.cfg.Store.LookupKey(tp.key, tp.opts.Seeds)
+	if !hit {
+		return false
+	}
+	tp.state = stateDone
+	tp.point = p
+	c.fromStore++
+	close(tp.done)
+	return true
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -197,20 +302,20 @@ func (c *Coordinator) RunPoint(bench string, m core.Mechanisms, o core.Options) 
 			done:     make(chan struct{}),
 		}
 		c.points[key] = tp
-		if c.cfg.Store != nil {
-			if p, hit := c.cfg.Store.LookupKey(key, o.Seeds); hit {
-				tp.state = stateDone
-				tp.point = p
-				c.fromStore++
-				close(tp.done)
-			}
-		}
+		c.storeHitLocked(tp)
 		if tp.state == statePending {
-			if c.closed {
+			switch {
+			case c.closed:
 				tp.state = stateFailed
 				tp.err = errors.New("fleet: coordinator is shut down")
 				close(tp.done)
-			} else {
+			case c.draining:
+				c.failLocked(tp, &core.PointError{
+					Benchmark: bench, Mechanisms: m, Options: o,
+					Attempts: 1, Reason: core.ReasonDrained,
+					Err: errors.New("fleet: sweep draining; point not started"),
+				})
+			default:
 				c.queue = append(c.queue, key)
 			}
 		}
@@ -223,8 +328,19 @@ func (c *Coordinator) RunPoint(bench string, m core.Mechanisms, o core.Options) 
 }
 
 // Handle runs one protocol request through the state machine and
-// returns the reply. Every transport funnels into it.
+// returns the reply. Every transport funnels into it. Coordinator
+// crash rules are consulted before the request is processed, so an
+// injected crash loses the message exactly like a real one would.
 func (c *Coordinator) Handle(m Message) Message {
+	if c.cfg.Fault != nil && c.cfg.Crash != nil {
+		if kind, ok := c.cfg.Fault.Coord(m.Type, m.Worker); ok {
+			c.logf("fleet: injected coordinator crash (%s) on %s from %s", kind, m.Type, m.Worker)
+			c.cfg.Crash(kind)
+			// If Crash returned (in-process harnesses), the request is
+			// still lost: the "crashed" coordinator must not answer it.
+			return Message{Type: MsgError, Error: "fleet: coordinator crashed"}
+		}
+	}
 	switch m.Type {
 	case MsgHello:
 		c.mu.Lock()
@@ -261,6 +377,11 @@ func (c *Coordinator) handleNext(m Message) Message {
 	defer c.mu.Unlock()
 	w := c.workerLocked(m.Worker)
 	w.lost = false // a polling worker is alive by definition
+	if c.draining {
+		// Draining: no new leases; idle workers are released. In-flight
+		// leases stay valid and their results are still accepted.
+		return Message{Type: MsgDone}
+	}
 	for len(c.queue) > 0 {
 		key := c.queue[0]
 		c.queue = c.queue[1:]
@@ -277,6 +398,14 @@ func (c *Coordinator) handleNext(m Message) Message {
 		tp.lastBeat = now
 		c.leases[tp.lease] = key
 		w.leases++
+		// Write-ahead: the grant is durable before the worker learns of
+		// it, so no lease can outlive the journal's knowledge of it.
+		if err := c.cfg.Journal.append(jGrant, grantEvent{
+			Lease: tp.lease, Worker: m.Worker, Key: key,
+			Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
+		}); err != nil {
+			c.logf("fleet: journal grant: %v", err)
+		}
 		c.logf("fleet: lease %d: %s/%s -> %s", tp.lease, tp.bench, tp.mech.Label(), m.Worker)
 		mech, opts := tp.mech, tp.opts
 		return Message{
@@ -347,6 +476,9 @@ func (c *Coordinator) handleResult(m Message) Message {
 		w.failures++
 		sig := m.Reason + ": " + m.Error
 		tp.failures[m.Worker] = sig
+		if err := c.cfg.Journal.append(jFailSig, failSigEvent{Key: tp.key, Worker: m.Worker, Sig: sig}); err != nil {
+			c.logf("fleet: journal failsig: %v", err)
+		}
 		n := 0
 		for _, s := range tp.failures {
 			if s == sig {
@@ -358,7 +490,7 @@ func (c *Coordinator) handleResult(m Message) Message {
 			if reason == "" {
 				reason = core.ReasonError
 			}
-			c.failLocked(tp, &core.PointError{
+			c.failPermanentLocked(tp, &core.PointError{
 				Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
 				Attempts: tp.requeues + 1, Reason: reason,
 				Err: fmt.Errorf("fleet: %d workers reported: %s", n, m.Error),
@@ -385,7 +517,7 @@ func (c *Coordinator) handleResult(m Message) Message {
 
 	delete(c.leases, m.Lease)
 	w.results++
-	c.resolveLocked(tp, rec.Point)
+	c.resolveLocked(tp, rec.Point, m.Lease)
 	return Message{Type: MsgOK}
 }
 
@@ -408,8 +540,11 @@ func decodeResult(m Message) (core.PointRecord, error) {
 }
 
 // resolveLocked publishes an accepted result: waiters released, store
-// fed. Callers hold mu.
-func (c *Coordinator) resolveLocked(tp *trackedPoint, p core.Point) {
+// fed, completion journaled. The store record is written before the
+// journal's done event, so a journaled completion always implies a
+// stored record (a crash in between leaves store-only, which replay
+// resolves via its store scan). Callers hold mu.
+func (c *Coordinator) resolveLocked(tp *trackedPoint, p core.Point, lease uint64) {
 	tp.state = stateDone
 	tp.point = p
 	tp.err = nil
@@ -420,14 +555,33 @@ func (c *Coordinator) resolveLocked(tp *trackedPoint, p core.Point) {
 			c.logf("fleet: store append failed: %v", err)
 		}
 	}
+	if err := c.cfg.Journal.append(jDone, doneEvent{Key: tp.key, Lease: lease}); err != nil {
+		c.logf("fleet: journal done: %v", err)
+	}
 }
 
-// failLocked retires a point permanently. Callers hold mu.
+// failLocked retires a point permanently. Callers hold mu. It does NOT
+// journal: drain and shutdown failures are transient to the sweep (a
+// restarted coordinator should retry those points), so only the
+// genuine permanent-failure sites go through failPermanentLocked.
 func (c *Coordinator) failLocked(tp *trackedPoint, err error) {
 	tp.state = stateFailed
 	tp.err = err
 	close(tp.done)
 	c.logf("fleet: FAILED %s/%s: %v", tp.bench, tp.mech.Label(), err)
+}
+
+// failPermanentLocked journals a genuine permanent failure (requeue
+// budget exhausted, too many distinct workers reporting the same
+// signature) and retires the point. A restarted coordinator keeps the
+// point failed instead of burning workers on it again. Callers hold mu.
+func (c *Coordinator) failPermanentLocked(tp *trackedPoint, perr *core.PointError) {
+	if err := c.cfg.Journal.append(jFail, failEvent{
+		Key: tp.key, Reason: perr.Reason, Error: perr.Err.Error(), Attempts: perr.Attempts,
+	}); err != nil {
+		c.logf("fleet: journal fail: %v", err)
+	}
+	c.failLocked(tp, perr)
 }
 
 // requeueLocked puts a leased (or just-unleased) point back in the
@@ -443,12 +597,15 @@ func (c *Coordinator) requeueLocked(tp *trackedPoint, why string) {
 	tp.requeues++
 	c.requeues++
 	if tp.requeues > c.cfg.MaxRequeues {
-		c.failLocked(tp, &core.PointError{
+		c.failPermanentLocked(tp, &core.PointError{
 			Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
 			Attempts: tp.requeues, Reason: core.ReasonError,
 			Err: fmt.Errorf("fleet: requeue budget exhausted after %d attempts (last: %s)", tp.requeues, why),
 		})
 		return
+	}
+	if err := c.cfg.Journal.append(jRequeue, requeueEvent{Key: tp.key, Requeues: tp.requeues, Why: why}); err != nil {
+		c.logf("fleet: journal requeue: %v", err)
 	}
 	c.logf("fleet: requeue %s/%s (%s)", tp.bench, tp.mech.Label(), why)
 	tp.state = statePending
@@ -502,10 +659,69 @@ func (c *Coordinator) WorkerLost(worker string) {
 	c.logf("fleet: worker %s lost", worker)
 }
 
+// Drain flips the coordinator into drain mode: next requests get done
+// (idle workers exit cleanly), no new leases are issued, and RunPoint
+// calls for not-yet-queued points fail immediately with ReasonDrained.
+// In-flight leases stay valid so their results are still accepted.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return
+	}
+	c.draining = true
+	c.logf("fleet: draining: no new leases; waiting for in-flight points")
+}
+
+// InFlight counts points currently leased out.
+func (c *Coordinator) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, tp := range c.points {
+		if tp.state == stateLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// DrainAndWait drains, waits (bounded by timeout) for in-flight leases
+// to resolve, then fails whatever is left with ReasonDrained and shuts
+// down. Queued-but-unleased points fail without waiting: their journal
+// state survives, so a restarted coordinator re-runs exactly them.
+// Returns how many points were abandoned to the drain.
+func (c *Coordinator) DrainAndWait(timeout time.Duration) int {
+	c.Drain()
+	deadline := time.Now().Add(timeout)
+	for c.InFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.mu.Lock()
+	abandoned := 0
+	for _, tp := range c.points {
+		if tp.state == statePending || tp.state == stateLeased {
+			abandoned++
+			c.failLocked(tp, &core.PointError{
+				Benchmark: tp.bench, Mechanisms: tp.mech, Options: tp.opts,
+				Attempts: tp.requeues + 1, Reason: core.ReasonDrained,
+				Err: errors.New("fleet: sweep drained before the point finished"),
+			})
+		}
+	}
+	c.queue = nil
+	c.mu.Unlock()
+	c.Shutdown()
+	return abandoned
+}
+
 // Shutdown retires the coordinator: pending and leased points fail (a
 // sweep normally calls it only after every RunPoint returned, so there
 // is nothing left to fail), future next requests get done, and the
-// expiry ticker stops. Idempotent.
+// expiry ticker stops. A sweep that finished cleanly — nothing pending,
+// leased, or drained away — truncates its journal: the store alone
+// carries the finished state, and the next run starts a fresh log.
+// Idempotent.
 func (c *Coordinator) Shutdown() {
 	c.mu.Lock()
 	if c.closed {
@@ -513,12 +729,19 @@ func (c *Coordinator) Shutdown() {
 		return
 	}
 	c.closed = true
+	clean := !c.draining
 	for _, tp := range c.points {
 		if tp.state == statePending || tp.state == stateLeased {
+			clean = false
 			c.failLocked(tp, errors.New("fleet: coordinator shut down with point unfinished"))
 		}
 	}
 	c.queue = nil
+	if clean {
+		if err := c.cfg.Journal.reset(); err != nil {
+			c.logf("fleet: journal reset: %v", err)
+		}
+	}
 	stop := c.stopExpiry
 	c.mu.Unlock()
 	if stop != nil {
@@ -541,6 +764,7 @@ type WorkerRow struct {
 type Stats struct {
 	Points     int // tracked points
 	FromStore  int // served from the shared store without leasing
+	Recovered  int // rebuilt from the journal replay at startup
 	Completed  int // resolved with an accepted result
 	Failed     int // permanently failed
 	Pending    int // still queued or leased
@@ -557,8 +781,9 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Points: len(c.points), FromStore: c.fromStore, Requeues: c.requeues,
-		Expired: c.expired, Lost: c.lost, Duplicates: c.duplicates, Malformed: c.malformed,
+		Points: len(c.points), FromStore: c.fromStore, Recovered: c.recovered,
+		Requeues: c.requeues, Expired: c.expired, Lost: c.lost,
+		Duplicates: c.duplicates, Malformed: c.malformed,
 	}
 	for _, tp := range c.points {
 		switch tp.state {

@@ -14,7 +14,29 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 )
+
+// HTTP transport bounds. Every exchange is one small JSON message (the
+// largest is a result carrying one PointRecord), so both the request
+// body cap and the call timeout can be tight without ever cutting off
+// legitimate traffic.
+const (
+	// MaxMessageBytes caps one HTTP request body: a hostile or confused
+	// client cannot make the coordinator buffer an unbounded message.
+	MaxMessageBytes = 16 << 20
+
+	// DefaultCallTimeout bounds one HTTP exchange end to end (dial,
+	// write, coordinator handling, read) when the caller supplies no
+	// client of its own.
+	DefaultCallTimeout = 30 * time.Second
+)
+
+// defaultHTTPClient replaces http.DefaultClient for HTTPCaller: the
+// default client has no timeout at all, so one wedged coordinator
+// connection would hang a worker forever instead of tripping the
+// worker's retry-and-reconnect path.
+var defaultHTTPClient = &http.Client{Timeout: DefaultCallTimeout}
 
 // ServePipe drives the coordinator from one worker's message stream
 // (reply written for every request, in order) until the stream ends.
@@ -88,6 +110,7 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		var m Message
+		r.Body = http.MaxBytesReader(w, r.Body, MaxMessageBytes)
 		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
 			http.Error(w, fmt.Sprintf("fleet: malformed message: %v", err), http.StatusBadRequest)
 			return
@@ -100,7 +123,7 @@ func (c *Coordinator) Handler() http.Handler {
 // HTTPCaller is the worker's end of an HTTP transport.
 type HTTPCaller struct {
 	URL    string
-	Client *http.Client // nil = http.DefaultClient
+	Client *http.Client // nil = a shared client with DefaultCallTimeout
 }
 
 // Call posts one request and decodes the reply.
@@ -111,7 +134,7 @@ func (h *HTTPCaller) Call(m Message) (Message, error) {
 	}
 	client := h.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultHTTPClient
 	}
 	resp, err := client.Post(h.URL, "application/json", bytes.NewReader(body))
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
@@ -29,10 +30,17 @@ type Runner func(bench string, m core.Mechanisms, o core.Options) (core.Point, e
 // coordinator, exactly like a crashed process.
 var ErrKilled = errors.New("fleet: worker killed by fault rule")
 
+// ErrDrained is returned by RunWorker when its Drain channel closed:
+// the in-flight point (if any) was finished and reported, and the
+// worker stopped asking for new leases.
+var ErrDrained = errors.New("fleet: worker drained")
+
 // Defaults for WorkerConfig's zero values.
 const (
 	DefaultHeartbeatInterval = 5 * time.Second
 	DefaultPollInterval      = 200 * time.Millisecond
+	DefaultMaxCallRetries    = 8
+	DefaultCallBackoff       = 250 * time.Millisecond
 )
 
 // WorkerConfig tunes one worker loop.
@@ -47,6 +55,27 @@ type WorkerConfig struct {
 	// PollInterval spaces next requests while the coordinator has no
 	// pending work (wait replies).
 	PollInterval time.Duration
+
+	// MaxCallRetries bounds how many times one coordinator exchange is
+	// retried after a transport failure (connection refused, EOF, 5xx —
+	// anything the Caller reports as an error). Coordinator loss is
+	// transient: the worker backs off exponentially with deterministic
+	// jitter, re-introduces itself (hello) under the same ID, and
+	// resends, so a result computed during a coordinator outage is
+	// delivered after the restart. Zero means DefaultMaxCallRetries;
+	// negative disables retry entirely.
+	MaxCallRetries int
+
+	// CallBackoff is the base of the exponential retry backoff (the
+	// delay before retry n is roughly CallBackoff<<(n-1), capped, plus
+	// jitter derived from the worker ID so a fleet does not reconnect in
+	// lockstep). Zero means DefaultCallBackoff.
+	CallBackoff time.Duration
+
+	// Drain, when non-nil, stops the worker once the channel is closed:
+	// the in-flight point (if any) is finished and reported first, then
+	// RunWorker returns ErrDrained instead of asking for another lease.
+	Drain <-chan struct{}
 
 	// Fault, when set, applies transport fault rules at each exchange
 	// point. Nil injects nothing.
@@ -87,7 +116,9 @@ func (cfg *WorkerConfig) transportFault(msg, bench, label string) (faultinject.K
 }
 
 // RunWorker connects to a coordinator through call and serves leases
-// until the sweep is done.
+// until the sweep is done (nil), the Drain channel closes (ErrDrained),
+// a kill rule fires (ErrKilled), or the transport stays broken past the
+// retry budget (the error).
 func RunWorker(cfg WorkerConfig, call Caller) error {
 	if err := cfg.validate(); err != nil {
 		return err
@@ -98,15 +129,28 @@ func RunWorker(cfg WorkerConfig, call Caller) error {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = DefaultPollInterval
 	}
+	if cfg.MaxCallRetries == 0 {
+		cfg.MaxCallRetries = DefaultMaxCallRetries
+	}
+	if cfg.MaxCallRetries < 0 {
+		cfg.MaxCallRetries = 0
+	}
+	if cfg.CallBackoff <= 0 {
+		cfg.CallBackoff = DefaultCallBackoff
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if _, err := call.Call(Message{Type: MsgHello, Worker: cfg.ID}); err != nil {
+	if _, err := cfg.call(call, Message{Type: MsgHello, Worker: cfg.ID}, logf); err != nil {
 		return err
 	}
 	for {
-		resp, err := call.Call(Message{Type: MsgNext, Worker: cfg.ID})
+		if cfg.drained() {
+			logf("fleet: worker %s: drained", cfg.ID)
+			return ErrDrained
+		}
+		resp, err := cfg.call(call, Message{Type: MsgNext, Worker: cfg.ID}, logf)
 		if err != nil {
 			return err
 		}
@@ -126,6 +170,70 @@ func RunWorker(cfg WorkerConfig, call Caller) error {
 			return fmt.Errorf("fleet: unexpected reply to next: %q", resp.Type)
 		}
 	}
+}
+
+// drained reports whether the Drain channel has closed.
+func (cfg *WorkerConfig) drained() bool {
+	if cfg.Drain == nil {
+		return false
+	}
+	select {
+	case <-cfg.Drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// call sends one request, absorbing transient coordinator loss: a
+// failed exchange backs off (exponential, deterministically jittered by
+// worker ID), re-introduces the worker under its existing ID, and
+// resends — so a restarted coordinator sees the same worker resume, and
+// a result computed during the outage still lands. The retry budget
+// bounds how long an unreachable coordinator is tolerated.
+func (cfg *WorkerConfig) call(c Caller, m Message, logf func(string, ...any)) (Message, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			time.Sleep(cfg.retryDelay(attempt))
+			if m.Type != MsgHello {
+				if _, err := c.Call(Message{Type: MsgHello, Worker: cfg.ID}); err != nil {
+					lastErr = err
+					if attempt >= cfg.MaxCallRetries {
+						break
+					}
+					continue
+				}
+				logf("fleet: worker %s: reconnected to coordinator (attempt %d)", cfg.ID, attempt)
+			}
+		}
+		resp, err := c.Call(m)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= cfg.MaxCallRetries {
+			break
+		}
+		logf("fleet: worker %s: %s failed (%v), retrying", cfg.ID, m.Type, err)
+	}
+	return Message{}, fmt.Errorf("fleet: %s failed after %d attempts: %w", m.Type, cfg.MaxCallRetries+1, lastErr)
+}
+
+// retryDelay computes the pause before retry n: exponential in the base
+// backoff (shift capped so a long outage polls steadily instead of
+// diverging) plus up to 50% deterministic jitter from the worker ID —
+// reproducible for a given fleet layout, but staggered across workers.
+func (cfg *WorkerConfig) retryDelay(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	d := cfg.CallBackoff << uint(shift)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", cfg.ID, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	return d + jitter
 }
 
 // runLease simulates one leased point and reports back. A drop or
@@ -172,7 +280,11 @@ func (cfg *WorkerConfig) runLease(call Caller, lease Message, logf func(string, 
 				}
 				resp, err := call.Call(Message{Type: MsgHeartbeat, Worker: cfg.ID, Lease: lease.Lease})
 				if err != nil {
-					return
+					// Coordinator unreachable: keep ticking. A restarted
+					// coordinator reinstates the lease from its journal
+					// with a fresh heartbeat window, so the next beat (or
+					// the result itself) lands once it is back.
+					continue
 				}
 				if resp.Type == MsgCancel {
 					cancelled.Store(true)
@@ -223,7 +335,7 @@ func (cfg *WorkerConfig) runLease(call Caller, lease Message, logf func(string, 
 		}
 	}
 	for i := 0; i < sends; i++ {
-		resp, err := call.Call(msg)
+		resp, err := cfg.call(call, msg, logf)
 		if err != nil {
 			return err
 		}

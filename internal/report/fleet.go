@@ -24,6 +24,7 @@ type FleetWorkerRow struct {
 type FleetTotals struct {
 	Points     int
 	FromStore  int
+	Recovered  int // points rebuilt from the coordinator journal at startup
 	Completed  int
 	Failed     int
 	Requeues   int
@@ -46,6 +47,10 @@ func Fleet(w io.Writer, rows []FleetWorkerRow, t FleetTotals) {
 		fmt.Fprintf(w, "  %-12s %7d %7d %8d %5d %9d %5s\n",
 			r.Worker, r.Leases, r.Results, r.Failures, r.Duplicates, r.Malformed, lost)
 	}
-	fmt.Fprintf(w, "  totals: %d points (%d from store, %d completed, %d failed), %d requeues (%d expired), %d workers lost, %d duplicate results, %d malformed\n",
-		t.Points, t.FromStore, t.Completed, t.Failed, t.Requeues, t.Expired, t.Lost, t.Duplicates, t.Malformed)
+	recovered := ""
+	if t.Recovered > 0 {
+		recovered = fmt.Sprintf(", %d recovered from journal", t.Recovered)
+	}
+	fmt.Fprintf(w, "  totals: %d points (%d from store, %d completed, %d failed), %d requeues (%d expired), %d workers lost, %d duplicate results, %d malformed%s\n",
+		t.Points, t.FromStore, t.Completed, t.Failed, t.Requeues, t.Expired, t.Lost, t.Duplicates, t.Malformed, recovered)
 }

@@ -1,0 +1,212 @@
+// Command chaossoak is the deterministic chaos harness for the fleet's
+// crash-recovery machinery: it supervises a coordinator/worker sweep
+// while killing the coordinator on a seeded schedule, restarting it
+// against the same store after every crash, and restarting workers the
+// schedule kills — then asserts the surviving run's tables are
+// byte-identical to an undisturbed single-process run.
+//
+//	go build -o /tmp/experiments ./cmd/experiments
+//	go run ./tools/chaossoak -bin /tmp/experiments -kills 2 -seed 1
+//
+// Each coordinator incarnation i < kills carries one fault rule,
+// kind=killcoord,msg=result,nth=N(i), with N(i) drawn from a seeded
+// PRNG — so the crash schedule is reproducible from -seed alone. The
+// final incarnation runs rule-free and must exit 0 with nothing
+// re-simulated that the store already holds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		bin     = flag.String("bin", "", "path to the experiments binary (required)")
+		storeTo = flag.String("store", "", "store directory (default: a fresh temp dir, removed on success)")
+		kills   = flag.Int("kills", 2, "coordinator crashes to inject before the clean incarnation")
+		workers = flag.Int("workers", 2, "HTTP workers to keep running")
+		seed    = flag.Int64("seed", 1, "PRNG seed for the crash schedule")
+		grid    = flag.String("grid", "table3", "experiment selection handed to every incarnation")
+		benches = flag.String("benchmarks", "zeus,art", "benchmark subset handed to every incarnation")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall soak deadline")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "chaossoak: -bin is required (build cmd/experiments first)")
+		return 2
+	}
+	if *kills < 0 || *workers < 1 {
+		fmt.Fprintln(os.Stderr, "chaossoak: -kills must be >= 0 and -workers >= 1")
+		return 2
+	}
+	dir := *storeTo
+	if dir == "" {
+		d, err := os.MkdirTemp("", "chaossoak-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaossoak:", err)
+			return 1
+		}
+		dir = d
+	}
+	grid_ := []string{"-run", *grid, "-benchmarks", *benches, "-quick",
+		"-cores", "2", "-warmup", "50000", "-measure", "30000", "-seeds", "1"}
+
+	// Reference: the undisturbed single-process run the soak must match.
+	ref, err := output(*bin, grid_...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak: reference run:", err)
+		return 1
+	}
+
+	addr, err := reserveAddr()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak:", err)
+		return 1
+	}
+	fmt.Printf("chaossoak: store=%s addr=%s kills=%d workers=%d seed=%d\n",
+		dir, addr, *kills, *workers, *seed)
+
+	// The crash schedule: incarnation i dies as its N(i)-th result
+	// message arrives. Drawn up front so the whole soak is a pure
+	// function of -seed.
+	rng := rand.New(rand.NewSource(*seed))
+	schedule := make([]int, *kills)
+	for i := range schedule {
+		schedule[i] = 1 + rng.Intn(3) // crash on the 1st..3rd result
+	}
+
+	// Workers outlive every coordinator incarnation: generous retry
+	// budgets carry them across each restart gap, and a worker the soak
+	// (or a stray fault) kills is simply restarted.
+	var wg sync.WaitGroup
+	stopWorkers := make(chan struct{})
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			superviseWorker(*bin, addr, fmt.Sprintf("cw%d", id), stopWorkers)
+		}(i)
+	}
+
+	deadline := time.Now().Add(*timeout)
+	var final string
+	incarnation := 0
+	for {
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "chaossoak: FAIL: deadline exceeded")
+			close(stopWorkers)
+			return 1
+		}
+		args := append([]string{"-serve", addr, "-store", dir}, grid_...)
+		if incarnation < len(schedule) {
+			args = append(args, "-faultinject",
+				fmt.Sprintf("kind=killcoord,msg=result,nth=%d", schedule[incarnation]))
+		}
+		out, err := output(*bin, args...)
+		code := exitCode(err)
+		switch {
+		case code == 0:
+			final = out
+		case code == 7:
+			fmt.Printf("chaossoak: incarnation %d crashed as scheduled (nth=%d); restarting\n",
+				incarnation, schedule[incarnation])
+			incarnation++
+			continue
+		default:
+			fmt.Fprintf(os.Stderr, "chaossoak: FAIL: incarnation %d exited %d: %v\n", incarnation, code, err)
+			close(stopWorkers)
+			return 1
+		}
+		break
+	}
+	close(stopWorkers)
+	wg.Wait()
+
+	if final != ref {
+		fmt.Fprintf(os.Stderr, "chaossoak: FAIL: surviving run differs from reference\n--- reference\n%s\n--- survivor\n%s\n", ref, final)
+		fmt.Fprintf(os.Stderr, "chaossoak: journal kept for inspection: %s\n", dir)
+		return 1
+	}
+	fmt.Printf("chaossoak: PASS: %d coordinator crashes survived, tables byte-identical\n", incarnation)
+	if *storeTo == "" {
+		os.RemoveAll(dir)
+	}
+	return 0
+}
+
+// superviseWorker keeps one worker process alive until stop closes: a
+// worker that exits while the soak still runs (killed, retry budget
+// blown during a long coordinator gap) is restarted under the same ID,
+// and the journal-recovered coordinator picks it up where it left off.
+func superviseWorker(bin, addr, id string, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		cmd := exec.Command(bin, "-worker", "http://"+addr, "-worker-id", id,
+			"-worker-retries", "60", "-worker-backoff", "100ms")
+		cmd.Stderr = os.Stderr
+		err := cmd.Run()
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err == nil {
+			// Clean exit while the soak continues: the coordinator said
+			// done between incarnations. Poll again for the next one.
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		fmt.Printf("chaossoak: worker %s exited (%v); restarting\n", id, err)
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// output runs one subprocess and returns its stdout (stderr streams
+// through for live progress).
+func output(bin string, args ...string) (string, error) {
+	cmd := exec.Command(bin, args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	return out.String(), err
+}
+
+// exitCode maps a Run error to the subprocess exit code (0 on nil).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// reserveAddr picks a free localhost port and releases it so every
+// coordinator incarnation can bind the same address.
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

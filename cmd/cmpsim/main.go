@@ -6,7 +6,10 @@
 //	       -instr 300000 -warmup 300000 -bw 20 -seed 1
 //
 // -bw 0 models infinite pin bandwidth (the paper's bandwidth-demand
-// measurement mode).
+// measurement mode). -prefetcher selects the engine from the prefetch
+// registry (stride, sequential, stream, markov) and -workload overrides
+// the benchmark's reference-source kind (e.g. forcing ptrchase onto a
+// commercial profile).
 package main
 
 import (
@@ -17,21 +20,36 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/codec"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/prefetch"
 	"cmpsim/internal/report"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/workload"
 )
 
+// usageErr reports a bad flag value the way bad arguments are reported:
+// the message plus the usage text, exit status 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmpsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmpsim: ")
 
+	var pfKind string
+	flag.StringVar(&pfKind, "prefetcher",
+		prefetch.DefaultName, "prefetch engine: "+strings.Join(prefetch.Names(), ", "))
+	flag.StringVar(&pfKind, "pf-kind", prefetch.DefaultName, "alias for -prefetcher")
 	var (
-		bench    = flag.String("bench", "zeus", "benchmark: one of apache zeus oltp jbb art apsi fma3d mgrid")
+		bench    = flag.String("bench", "zeus", "benchmark: "+strings.Join(workload.Names(), ", "))
+		source   = flag.String("workload", "", "reference-source kind override: "+strings.Join(workload.SourceNames(), ", ")+" (default: the benchmark's own)")
 		cores    = flag.Int("cores", 8, "number of processor cores")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		instr    = flag.Uint64("instr", 300_000, "measured instructions per core")
@@ -40,11 +58,10 @@ func main() {
 		linkC    = flag.Bool("link-compress", false, "enable link compression")
 		compress = flag.Bool("compress", false, "enable both cache and link compression")
 		codecN   = flag.String("codec", "", "compression codec: fpc (paper default), bdi, zca or cpack")
-		pf       = flag.Bool("prefetch", false, "enable stride prefetching")
+		pf       = flag.Bool("prefetch", false, "enable prefetching (see -prefetcher)")
 		adaptive = flag.Bool("adaptive", false, "enable adaptive prefetch throttling")
 		bwGBps   = flag.Float64("bw", 20, "pin bandwidth in GB/s (0 = infinite)")
 		l2MB     = flag.Int("l2mb", 4, "shared L2 size in MB")
-		pfKind   = flag.String("pf-kind", "stride", "prefetcher: stride (paper) or sequential (baseline)")
 		l1depth  = flag.Int("l1depth", 0, "override L1 startup prefetch depth (0 = paper default 6)")
 		l2depth  = flag.Int("l2depth", 0, "override L2 startup prefetch depth (0 = paper default 25)")
 		timeline = flag.String("timeline", "", "export the interval timeline to PREFIX.jsonl and PREFIX.csv")
@@ -62,9 +79,17 @@ func main() {
 		os.Exit(2)
 	}
 	// Validate every flag up front: one clear error beats a panic (or a
-	// silently meaningless run) deep inside the simulator.
+	// silently meaningless run) deep inside the simulator. Name-typo
+	// errors (benchmark, prefetcher, reference source) are usage errors —
+	// they list the registered names and exit 2 like any bad argument.
 	if _, err := workload.ByName(*bench); err != nil {
-		log.Fatal(err)
+		usageErr("-bench: %v", err)
+	}
+	if _, err := prefetch.ByName(pfKind); err != nil {
+		usageErr("-prefetcher: %v", err)
+	}
+	if *source != "" && !workload.SourceRegistered(*source) {
+		usageErr("-workload %q unknown (have %v)", *source, workload.SourceNames())
 	}
 	if *cores < 1 || *cores > 32 {
 		log.Fatalf("-cores %d out of range [1, 32]", *cores)
@@ -77,9 +102,6 @@ func main() {
 	}
 	if *l2MB < 1 {
 		log.Fatalf("-l2mb %d must be positive", *l2MB)
-	}
-	if *pfKind != "stride" && *pfKind != "sequential" {
-		log.Fatalf("-pf-kind %q must be stride or sequential", *pfKind)
 	}
 	if *l1depth < 0 || *l2depth < 0 {
 		log.Fatal("-l1depth and -l2depth must be >= 0")
@@ -112,9 +134,10 @@ func main() {
 	cfg.L2Bytes = *l2MB << 20
 	cfg.L1PrefetchDepth = *l1depth
 	cfg.L2PrefetchDepth = *l2depth
-	if *pfKind != "stride" {
-		cfg.PrefetcherKind = *pfKind
+	if pfKind != prefetch.DefaultName {
+		cfg.PrefetcherKind = pfKind
 	}
+	cfg.RefSource = *source
 	cfg.Memory.LinkBytesPerCycle = *bwGBps / cfg.ClockGHz
 	cfg.TelemetryInterval = *interval
 	cfg.Shards = *shards

@@ -8,7 +8,10 @@
 //	experiments -list
 //
 // Experiments: table3 fig3 fig4 fig5 table4 fig6 fig7 fig8 table5 fig10
-// fig11 fig1 fig12 codecs.
+// fig11 fig1 fig12 codecs irregular. The irregular study re-runs the
+// Figure 6 / Table 5 terms over the linked-data-structure suite
+// (ptrchase hashprobe btree srvmix) once per registered prefetch
+// engine; -prefetcher pins the engine the other studies use.
 package main
 
 import (
@@ -34,7 +37,9 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/faultinject"
 	"cmpsim/internal/fleet"
+	"cmpsim/internal/prefetch"
 	"cmpsim/internal/report"
+	"cmpsim/internal/workload"
 )
 
 func main() {
@@ -73,7 +78,8 @@ func run() int {
 		wRetries   = flag.Int("worker-retries", 0, "worker: retries per coordinator exchange before giving up (0 = default, -1 = none)")
 		wBackoff   = flag.Duration("worker-backoff", 0, "worker: base delay between coordinator-exchange retries (0 = default)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "coordinator: how long a drain (first SIGINT/SIGTERM) waits for in-flight points")
-		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's full set)")
+		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's full set; irregular names select within the irregular study)")
+		pfName     = flag.String("prefetcher", "", "prefetch engine for every prefetching point: "+strings.Join(prefetch.Names(), ", ")+" (default stride; the irregular study sweeps all engines regardless)")
 		coresN     = flag.Int("cores", 0, "override the simulated core count")
 		warmupN    = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		measureN   = flag.Uint64("measure", 0, "override measured instructions per core")
@@ -111,6 +117,12 @@ func run() int {
 	// exit 2 before any simulation (or, in worker mode, any lease).
 	if _, err := audit.ParseLevel(*check); err != nil {
 		log.Printf("-check: %v", err)
+		return 2
+	}
+	// So is an unknown prefetcher kind; the registry error lists the
+	// registered names.
+	if _, err := prefetch.ByName(*pfName); err != nil {
+		log.Printf("-prefetcher: %v", err)
 		return 2
 	}
 	if *fleetN < 0 {
@@ -155,6 +167,7 @@ func run() int {
 	o.MaxRetries = *retries
 	o.RetryBackoff = *backoff
 	o.CheckLevel = *check
+	o.PrefetcherKind = *pfName
 	o.TelemetryInterval = *interval
 	if *timeline != "" && o.TelemetryInterval == 0 {
 		o.TelemetryInterval = o.Measure * uint64(o.Cores) / 50
@@ -165,15 +178,18 @@ func run() int {
 
 	benches := core.Benchmarks()
 	if *benchList != "" {
-		valid := make(map[string]bool, len(benches))
-		for _, b := range benches {
+		// Any registered workload is addressable, not just the paper's
+		// eight: the irregular suite's names route to the irregular study.
+		names := workload.Names()
+		valid := make(map[string]bool, len(names))
+		for _, b := range names {
 			valid[b] = true
 		}
 		benches = nil
 		for _, b := range strings.Split(*benchList, ",") {
 			b = strings.TrimSpace(b)
 			if !valid[b] {
-				log.Printf("unknown benchmark %q in -benchmarks", b)
+				log.Printf("unknown benchmark %q in -benchmarks (have %v)", b, names)
 				return 2
 			}
 			benches = append(benches, b)
@@ -569,6 +585,25 @@ func experimentTable(o core.Options, benches []string) map[string]func() {
 		"codecs": func() {
 			rows := core.CodecStudy(benches, o)
 			emit(func() { report.CodecTable(w, rows) }, rows, func() error { return report.CodecCSV(w, rows) })
+		},
+		"irregular": func() {
+			// -benchmarks may mix suites; only its irregular names apply
+			// here. With none selected the study runs the whole suite.
+			irr := make(map[string]bool)
+			for _, b := range core.IrregularBenchmarks() {
+				irr[b] = true
+			}
+			var sel []string
+			for _, b := range benches {
+				if irr[b] {
+					sel = append(sel, b)
+				}
+			}
+			if len(sel) == 0 {
+				sel = core.IrregularBenchmarks()
+			}
+			rows := core.IrregularStudy(sel, o)
+			emit(func() { report.IrregularTable(w, rows) }, rows, func() error { return report.IrregularCSV(w, rows) })
 		},
 		"fig12": func() {
 			ra := core.CoreSweep("apache", coreCounts, o)

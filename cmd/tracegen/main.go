@@ -2,7 +2,11 @@
 // a compact trace file, or inspects an existing trace.
 //
 //	tracegen -bench oltp -core 0 -seed 1 -n 1000000 -o oltp.trace
+//	tracegen -bench oltp -workload ptrchase -o oltp-chase.trace
 //	tracegen -inspect oltp.trace
+//
+// -workload overrides the benchmark's reference-source kind with any
+// registered generator (strided, ptrchase, hashprobe, btree, srvmix).
 package main
 
 import (
@@ -11,16 +15,25 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/workload"
 )
 
+// usageErr prints a bad-flag message plus the usage text and exits 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		bench   = flag.String("bench", "zeus", "benchmark to record")
+		bench   = flag.String("bench", "zeus", "benchmark to record: "+strings.Join(workload.Names(), ", "))
+		source  = flag.String("workload", "", "reference-source kind override: "+strings.Join(workload.SourceNames(), ", ")+" (default: the benchmark's own)")
 		core    = flag.Int("core", 0, "core whose stream to record")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		n       = flag.Int("n", 1_000_000, "references to record")
@@ -32,6 +45,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *source != "" && !workload.SourceRegistered(*source) {
+		usageErr("-workload %q unknown (have %v)", *source, workload.SourceNames())
 	}
 	if *n < 1 {
 		log.Fatalf("-n %d must be positive", *n)
@@ -49,7 +65,7 @@ func main() {
 
 	p, err := workload.ByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		usageErr("-bench: %v", err)
 	}
 	path := *out
 	if path == "" {
@@ -60,7 +76,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := workload.Record(f, p, *core, *seed, *n); err != nil {
+	if err := workload.RecordSource(f, *source, p, *core, *seed, *n); err != nil {
 		log.Fatal(err)
 	}
 	st, _ := f.Stat()

@@ -123,9 +123,18 @@ type Options struct {
 	DecompressionSet       bool
 	L2TagsPerSet           int
 	UncompressedVictimTags int
-	// PrefetcherKind: "" or "stride" (the paper's engine) or
-	// "sequential" (the tagged sequential baseline).
+	// PrefetcherKind selects the engine from the internal/prefetch
+	// registry; "" canonicalizes to "stride" (the paper's engine) for
+	// the point-cache key. "sequential", "stream" and "markov" are the
+	// alternative families.
 	PrefetcherKind string
+
+	// RefSource overrides the reference-source kind for every benchmark
+	// (internal/workload source registry name). "" uses each profile's
+	// own kind, which is NOT an alias for "strided": forcing "strided"
+	// changes what an irregular benchmark runs, so the field is
+	// identity-bearing in the point key with no canonical alias.
+	RefSource string
 
 	// Codec selects the line-compression scheme (internal/codec registry
 	// name); "" or "fpc" is the paper's FPC and canonicalizes to the
@@ -180,6 +189,7 @@ func (o Options) config(bench string, m Mechanisms, seed int64) sim.Config {
 		cfg.UncompressedVictimTags = 0
 	}
 	cfg.PrefetcherKind = o.PrefetcherKind
+	cfg.RefSource = o.RefSource
 	cfg.Memory.LinkBytesPerCycle = o.BandwidthGBps / cfg.ClockGHz
 	cfg.CollectMissProfile = o.CollectMissProfile
 	cfg.TelemetryInterval = o.TelemetryInterval
@@ -245,3 +255,7 @@ func Benchmarks() []string { return workload.PaperOrder() }
 
 // CommercialBenchmarks returns the four Wisconsin commercial workloads.
 func CommercialBenchmarks() []string { return workload.PaperOrder()[:4] }
+
+// IrregularBenchmarks returns the linked-data-structure suite the
+// irregular study runs over.
+func IrregularBenchmarks() []string { return workload.IrregularOrder() }

@@ -5,6 +5,7 @@ import (
 
 	"cmpsim/internal/codec"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/prefetch"
 	"cmpsim/internal/sim"
 	"cmpsim/internal/stats"
 )
@@ -687,6 +688,82 @@ func (s *Scheduler) CodecStudy(benchmarks []string, o Options) []CodecRow {
 				InteractionPct: stats.InteractionPct(sp, sc, sb),
 				InteractionAtBWPct: stats.InteractionPct(
 					Speedup(pts[4], pts[5]), Speedup(pts[4], pts[6]), Speedup(pts[4], pts[7])),
+			})
+		}
+	}
+	return rows
+}
+
+// IrregularRow is one (benchmark, prefetcher) entry of the irregular
+// study: the Figure 6 / Table 5 speedup and interaction terms re-run
+// over the linked-data-structure suite, once per registered prefetch
+// engine. It answers the question the paper's strided suite cannot:
+// which engine family still earns its bandwidth when addresses are
+// data-dependent, and whether compression's freed bandwidth still
+// amplifies it (positive interaction) or only masks its waste.
+type IrregularRow struct {
+	Benchmark       string
+	Prefetcher      string
+	PrefPct         float64 // Speedup(Pref.) − 1
+	AdaptivePct     float64 // Speedup(Adaptive Pref.) − 1
+	ComprPct        float64 // Speedup(Compr.) − 1
+	BothPct         float64 // Speedup(Pref., Compr.) − 1
+	AdaptiveBothPct float64 // Speedup(Adaptive Pref., Compr.) − 1
+	InteractionPct  float64 // EQ 5 over the non-adaptive terms
+	Failed          string  `json:",omitempty"`
+}
+
+// IrregularStudy runs the irregular suite (or any benchmark list) over
+// every registered prefetcher. Base and Compression never touch the
+// prefetch engine, so they are submitted with the request's own kind
+// and shared across all engines through the point cache.
+func IrregularStudy(benchmarks []string, o Options) []IrregularRow {
+	return sharedScheduler(o).IrregularStudy(benchmarks, o)
+}
+
+// IrregularStudy is the scheduler-scoped form of the package function.
+func (s *Scheduler) IrregularStudy(benchmarks []string, o Options) []IrregularRow {
+	kinds := prefetch.Names()
+	type futures struct {
+		base, compr, pf, adpf, both, adboth *PointFuture
+	}
+	subs := make([][]futures, len(benchmarks))
+	for i, b := range benchmarks {
+		subs[i] = make([]futures, len(kinds))
+		for ki, kind := range kinds {
+			ok := o
+			ok.PrefetcherKind = kind
+			subs[i][ki] = futures{
+				base:   s.Submit(b, Base, o),
+				compr:  s.Submit(b, Compression, o),
+				pf:     s.Submit(b, Prefetch, ok),
+				adpf:   s.Submit(b, AdaptivePf, ok),
+				both:   s.Submit(b, PrefCompr, ok),
+				adboth: s.Submit(b, AdaptiveCompr, ok),
+			}
+		}
+	}
+	rows := make([]IrregularRow, 0, len(benchmarks)*len(kinds))
+	for i, b := range benchmarks {
+		for ki, kind := range kinds {
+			f := subs[i][ki]
+			pts, failed := await(f.base, f.compr, f.pf, f.adpf, f.both, f.adboth)
+			if failed != "" {
+				rows = append(rows, IrregularRow{Benchmark: b, Prefetcher: kind, Failed: failed})
+				continue
+			}
+			sp := Speedup(pts[0], pts[2])
+			sc := Speedup(pts[0], pts[1])
+			sb := Speedup(pts[0], pts[4])
+			rows = append(rows, IrregularRow{
+				Benchmark:       b,
+				Prefetcher:      kind,
+				PrefPct:         stats.SpeedupPct(sp),
+				AdaptivePct:     stats.SpeedupPct(Speedup(pts[0], pts[3])),
+				ComprPct:        stats.SpeedupPct(sc),
+				BothPct:         stats.SpeedupPct(sb),
+				AdaptiveBothPct: stats.SpeedupPct(Speedup(pts[0], pts[5])),
+				InteractionPct:  stats.InteractionPct(sp, sc, sb),
 			})
 		}
 	}

@@ -11,6 +11,9 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+
+	"cmpsim/internal/codec"
+	"cmpsim/internal/prefetch"
 )
 
 // CanonicalOptions normalizes scheduling-only and aliasing fields so
@@ -21,9 +24,12 @@ func CanonicalOptions(o Options) Options { return canonicalOpts(o) }
 // canonicalOpts normalizes scheduling-only and aliasing fields so that
 // equivalent requests share one cache entry: Workers, Shards and the
 // robustness knobs (PointTimeout, MaxRetries, RetryBackoff) do not affect
-// simulation results, CheckLevel is a read-only audit tier, "stride"
-// names the engine "" already selects, and DecompressionCycles is
-// ignored by config unless DecompressionSet.
+// simulation results, CheckLevel is a read-only audit tier, the
+// registries' default names ("stride", "fpc") select what "" already
+// selects, and DecompressionCycles is ignored by config unless
+// DecompressionSet. RefSource deliberately has no alias: "" means each
+// profile's own kind, which is not the same simulation as "strided" on
+// an irregular benchmark.
 func canonicalOpts(o Options) Options {
 	o.Workers = 0
 	o.Shards = 0
@@ -31,10 +37,10 @@ func canonicalOpts(o Options) Options {
 	o.MaxRetries = 0
 	o.RetryBackoff = 0
 	o.CheckLevel = ""
-	if o.PrefetcherKind == "stride" {
+	if o.PrefetcherKind == prefetch.DefaultName {
 		o.PrefetcherKind = ""
 	}
-	if o.Codec == "fpc" {
+	if o.Codec == codec.DefaultName {
 		// The explicit default codec is the same simulation as "".
 		o.Codec = ""
 	}

@@ -209,3 +209,24 @@ func CodecCSV(w io.Writer, rows []core.CodecRow) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// IrregularCSV writes the irregular-suite study rows.
+func IrregularCSV(w io.Writer, rows []core.IrregularRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "prefetcher", "pref_pct", "adaptive_pct", "compr_pct",
+		"both_pct", "adaptive_both_pct", "interaction_pct", "failed",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Benchmark, r.Prefetcher, f(r.PrefPct), f(r.AdaptivePct), f(r.ComprPct),
+			f(r.BothPct), f(r.AdaptiveBothPct), f(r.InteractionPct), r.Failed,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

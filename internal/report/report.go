@@ -228,3 +228,21 @@ func CodecTable(w io.Writer, rows []core.CodecRow) {
 			r.InteractionPct, r.InteractionAtBWPct)
 	}
 }
+
+// IrregularTable prints the irregular-suite study: Figure 6 / Table 5
+// terms per (benchmark, prefetch engine) over the linked-data-structure
+// workloads.
+func IrregularTable(w io.Writer, rows []core.IrregularRow) {
+	fmt.Fprintln(w, "Irregular suite: speedups (%) per prefetch engine, interaction per EQ 5")
+	fmt.Fprintf(w, "  %-9s %-10s %8s %9s %8s %8s %9s %12s\n",
+		"bench", "prefetcher", "pref", "adaptive", "compr", "both", "ad+compr", "interaction")
+	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(w, "  %-9s %-10s %s\n", r.Benchmark, r.Prefetcher, failedCell(r.Failed))
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s %-10s %+7.1f%% %+8.1f%% %+7.1f%% %+7.1f%% %+8.1f%% %+11.1f%%\n",
+			r.Benchmark, r.Prefetcher, r.PrefPct, r.AdaptivePct, r.ComprPct,
+			r.BothPct, r.AdaptiveBothPct, r.InteractionPct)
+	}
+}

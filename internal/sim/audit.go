@@ -23,7 +23,6 @@ import (
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/cache"
-	"cmpsim/internal/prefetch"
 	"cmpsim/internal/timing"
 )
 
@@ -235,10 +234,10 @@ func (s *System) applyStateFault() {
 			}
 		})
 	case "corrupt-stream":
-		if eng, ok := s.fe.engL1D[0].(*prefetch.Engine); ok {
+		if eng, ok := s.fe.engL1D[0].(interface{ CorruptStream() }); ok {
 			eng.CorruptStream()
 		} else {
-			panic("sim: corrupt-stream fault requires the stride prefetcher")
+			panic("sim: corrupt-stream fault requires a prefetcher with stream state")
 		}
 	case "drop-flit":
 		s.mem.FetchFlits++

@@ -27,6 +27,7 @@ import (
 	"cmpsim/internal/codec"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/memory"
+	"cmpsim/internal/prefetch"
 	"cmpsim/internal/timing"
 	"cmpsim/internal/workload"
 )
@@ -53,10 +54,18 @@ type Config struct {
 	L1PrefetchDepth int
 	L2PrefetchDepth int
 
-	// PrefetcherKind selects the engine: "" or "stride" is the paper's
-	// Power4-style prefetcher; "sequential" is the tagged sequential
-	// baseline from the related-work comparison.
+	// PrefetcherKind selects the engine from the internal/prefetch
+	// registry: "" or "stride" is the paper's Power4-style prefetcher;
+	// "sequential" is the tagged sequential baseline, "stream" the
+	// Jouppi stream buffers, "markov" the miss-correlation table.
 	PrefetcherKind string
+
+	// RefSource overrides the reference-source kind for every core
+	// (internal/workload source registry name). "" uses each profile's
+	// own kind — the strided Generator for the paper's eight
+	// benchmarks, the linked-structure walks for the irregular suite —
+	// which is NOT the same as forcing "strided".
+	RefSource string
 
 	// Codec selects the line-compression scheme (internal/codec registry
 	// name). "" or "fpc" is the paper's Frequent Pattern Compression;
@@ -195,14 +204,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: clock must be positive")
 	case c.AdaptivePrefetch && !c.Prefetching:
 		return fmt.Errorf("sim: AdaptivePrefetch requires Prefetching")
-	case c.PrefetcherKind != "" && c.PrefetcherKind != "stride" && c.PrefetcherKind != "sequential":
-		return fmt.Errorf("sim: unknown PrefetcherKind %q", c.PrefetcherKind)
 	case !c.CheckLevel.Valid():
 		return fmt.Errorf("sim: invalid CheckLevel %d", c.CheckLevel)
 	case c.Shards < 0:
 		return fmt.Errorf("sim: Shards must be non-negative")
 	}
+	// Kind names are validated against their registries, so new codecs,
+	// prefetchers and reference sources cannot drift out of validation.
 	if _, err := codec.ByName(c.Codec); err != nil {
+		return err
+	}
+	if _, err := prefetch.ByName(c.PrefetcherKind); err != nil {
+		return err
+	}
+	if _, err := workload.SourceByName(c.RefSource); err != nil {
 		return err
 	}
 	// The decompression latency must be exactly representable in the

@@ -22,7 +22,7 @@ const refBatch = 256
 // the simulator treats the core count as a free parameter.
 type frontEnd struct {
 	cores []*cpu.Core
-	gens  []*workload.Generator
+	gens  []workload.RefSource
 
 	engL1I, engL1D, engL2 []prefetch.Prefetcher
 	adL1I, adL1D          []*prefetch.Adaptive
@@ -51,21 +51,14 @@ func newFrontEnd(cfg Config, prof workload.Profile) *frontEnd {
 	}
 	cpuCfg := cfg.CPU
 	cpuCfg.BaseCPI = prof.BaseCPI
-	newEngine := func(c prefetch.Config) prefetch.Prefetcher {
-		if cfg.PrefetcherKind == "sequential" {
-			sc := prefetch.DefaultSequentialConfig()
-			sc.Degree = c.StartupDepth / 3 // comparable aggressiveness
-			if sc.Degree < 1 {
-				sc.Degree = 1
-			}
-			return prefetch.NewSequential(sc)
-		}
-		return prefetch.New(c)
-	}
+	// Both kinds resolve through their registries; Config.Validate has
+	// already vetted the names, so unknown kinds panic like an invalid
+	// profile would.
+	newEngine := prefetch.MustByName(cfg.PrefetcherKind)
 	fe := &frontEnd{}
 	for c := 0; c < cfg.Cores; c++ {
 		fe.cores = append(fe.cores, cpu.New(cpuCfg))
-		fe.gens = append(fe.gens, workload.NewGenerator(prof, c, cfg.Seed))
+		fe.gens = append(fe.gens, workload.MustNewSource(cfg.RefSource, prof, c, cfg.Seed))
 		fe.engL1I = append(fe.engL1I, newEngine(l1cfg))
 		fe.engL1D = append(fe.engL1D, newEngine(l1cfg))
 		fe.engL2 = append(fe.engL2, newEngine(l2cfg))
@@ -160,7 +153,7 @@ type shardPool struct {
 	wg   sync.WaitGroup
 }
 
-func newShardPool(gens []*workload.Generator, shards int) *shardPool {
+func newShardPool(gens []workload.RefSource, shards int) *shardPool {
 	n := len(gens)
 	if shards > n {
 		shards = n

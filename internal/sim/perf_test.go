@@ -16,17 +16,24 @@ import (
 // consumes the streams in the same min-clock order (DESIGN.md,
 // "Deterministic sharding").
 func TestShardDeterminismMatrix(t *testing.T) {
-	cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
-	base := run(t, cfg)
-	shards := []int{1, 2, 4, runtime.NumCPU()}
-	for _, sh := range shards {
-		sh := sh
-		t.Run(fmt.Sprintf("shards=%d", sh), func(t *testing.T) {
-			c := cfg
-			c.Shards = sh
-			m := run(t, c)
-			if !reflect.DeepEqual(m, base) {
-				t.Fatalf("shards=%d metrics differ from serial:\n got %+v\nwant %+v", sh, m, base)
+	// zeus covers the strided Generator; ptrchase covers the irregular
+	// RefSource seam (core-private walk state on shard workers).
+	for _, bench := range []string{"zeus", "ptrchase"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			cfg := smallConfig(bench).WithMechanisms(true, true, true, true)
+			base := run(t, cfg)
+			shards := []int{1, 2, 4, runtime.NumCPU()}
+			for _, sh := range shards {
+				sh := sh
+				t.Run(fmt.Sprintf("shards=%d", sh), func(t *testing.T) {
+					c := cfg
+					c.Shards = sh
+					m := run(t, c)
+					if !reflect.DeepEqual(m, base) {
+						t.Fatalf("shards=%d metrics differ from serial:\n got %+v\nwant %+v", sh, m, base)
+					}
+				})
 			}
 		})
 	}
@@ -75,11 +82,8 @@ func TestStepAllocFree(t *testing.T) {
 // generation shard count; ns/event divides wall time by retired
 // references.
 func BenchmarkSystemRun(b *testing.B) {
-	for _, sh := range []int{1, 2, 4} {
-		sh := sh
-		b.Run(fmt.Sprintf("shards=%d", sh), func(b *testing.B) {
-			cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
-			cfg.Shards = sh
+	bench := func(name string, cfg Config) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			var events uint64
 			for i := 0; i < b.N; i++ {
@@ -93,4 +97,15 @@ func BenchmarkSystemRun(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 		})
 	}
+	for _, sh := range []int{1, 2, 4} {
+		cfg := smallConfig("zeus").WithMechanisms(true, true, true, true)
+		cfg.Shards = sh
+		bench(fmt.Sprintf("shards=%d", sh), cfg)
+	}
+	// The irregular frontier: pointer chasing under the markov
+	// prefetcher (data-dependent addresses, correlation-table lookups
+	// on the miss path).
+	chase := smallConfig("ptrchase").WithMechanisms(true, true, true, true)
+	chase.PrefetcherKind = "markov"
+	bench("ptrchase", chase)
 }

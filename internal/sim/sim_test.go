@@ -2,10 +2,13 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"cmpsim/internal/audit"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/prefetch"
+	"cmpsim/internal/workload"
 )
 
 // smallConfig is a scaled-down system that still exercises every
@@ -438,8 +441,78 @@ func TestSequentialPrefetcherKind(t *testing.T) {
 
 func TestUnknownPrefetcherKindRejected(t *testing.T) {
 	cfg := smallConfig("zeus")
-	cfg.PrefetcherKind = "markov"
+	cfg.PrefetcherKind = "nosuch"
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("unknown prefetcher kind accepted")
+	}
+	cfg = smallConfig("zeus")
+	cfg.RefSource = "nosuch"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown reference source accepted")
+	}
+}
+
+func TestRegisteredPrefetcherKindsRun(t *testing.T) {
+	// Every registry kind must drive a full run; the stream buffers
+	// must actually prefetch on mgrid's unit-stride component.
+	for _, kind := range prefetch.Names() {
+		cfg := smallConfig("mgrid")
+		cfg.Prefetching = true
+		cfg.PrefetcherKind = kind
+		m := run(t, cfg)
+		if kind == "stream" && m.Engine(coherence.PfL1D).Prefetches == 0 {
+			t.Errorf("%s: prefetcher idle on mgrid", kind)
+		}
+	}
+}
+
+func TestMarkovCoversPointerChase(t *testing.T) {
+	// The correlation prefetcher must find recurring miss transitions
+	// in the pointer chase and deliver useful prefetches where the
+	// stride engine finds (nearly) nothing to train on.
+	cfg := smallConfig("ptrchase")
+	cfg.Prefetching = true
+	cfg.PrefetcherKind = "markov"
+	m := run(t, cfg)
+	var hits uint64
+	for _, e := range []coherence.PfSource{coherence.PfL1D, coherence.PfL2} {
+		hits += m.Engine(e).PrefetchHits
+	}
+	if hits == 0 {
+		t.Fatal("markov prefetcher produced no useful prefetches on ptrchase")
+	}
+}
+
+func TestIrregularBenchmarksRun(t *testing.T) {
+	// Every irregular benchmark completes a full all-mechanisms run
+	// deterministically.
+	for _, bench := range workload.IrregularOrder() {
+		cfg := smallConfig(bench)
+		cfg = cfg.WithMechanisms(true, true, true, true)
+		a := run(t, cfg)
+		b := run(t, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: repeated runs differ", bench)
+		}
+		if a.Instructions == 0 || a.Cycles <= 0 {
+			t.Errorf("%s: degenerate run", bench)
+		}
+	}
+}
+
+func TestRefSourceOverride(t *testing.T) {
+	// Forcing a reference-source kind onto a foreign profile must
+	// change the run (and forcing the profile's own kind must not).
+	cfg := smallConfig("zeus")
+	base := run(t, cfg)
+	cfg.RefSource = "ptrchase"
+	forced := run(t, cfg)
+	if reflect.DeepEqual(base, forced) {
+		t.Fatal("RefSource override had no effect")
+	}
+	cfg.RefSource = "strided"
+	explicit := run(t, cfg)
+	if !reflect.DeepEqual(base, explicit) {
+		t.Fatal(`RefSource "strided" must equal zeus's default stream`)
 	}
 }

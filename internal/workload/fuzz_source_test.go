@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pickSource maps fuzz selectors onto a (profile, kind, core) triple,
+// crossing every benchmark with every registered source kind.
+func pickSource(benchSel, kindSel, coreSel uint8) (Profile, string, int) {
+	names := Names()
+	kinds := SourceNames()
+	p := MustByName(names[int(benchSel)%len(names)])
+	kind := kinds[int(kindSel)%len(kinds)]
+	return p, kind, int(coreSel) % 8
+}
+
+// FuzzSourceRegions checks that every emitted address stays inside the
+// regions the profile declares, for any (benchmark, kind, core, seed).
+func FuzzSourceRegions(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1))
+	f.Add(uint8(8), uint8(1), uint8(3), int64(-7))
+	f.Add(uint8(11), uint8(4), uint8(7), int64(1<<40))
+	f.Fuzz(func(t *testing.T, benchSel, kindSel, coreSel uint8, seed int64) {
+		p, kind, core := pickSource(benchSel, kindSel, coreSel)
+		src := MustNewSource(kind, p, core, seed)
+		refs := make([]Ref, 4096)
+		src.NextN(refs)
+		checkRegions(t, p, core, refs)
+	})
+}
+
+// FuzzSourceBatchEquivalence checks that NextN over arbitrary batch
+// sizes equals N sequential Next calls, refs and counters both.
+func FuzzSourceBatchEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1), uint8(17))
+	f.Add(uint8(9), uint8(2), uint8(1), int64(99), uint8(1))
+	f.Add(uint8(10), uint8(3), uint8(5), int64(-3), uint8(255))
+	f.Fuzz(func(t *testing.T, benchSel, kindSel, coreSel uint8, seed int64, batchSel uint8) {
+		p, kind, core := pickSource(benchSel, kindSel, coreSel)
+		batched := MustNewSource(kind, p, core, seed)
+		single := MustNewSource(kind, p, core, seed).(interface{ Next(*Ref) })
+
+		const total = 2048
+		got := make([]Ref, 0, total)
+		batch := 1 + int(batchSel)
+		buf := make([]Ref, batch)
+		for len(got) < total {
+			b := buf
+			if rem := total - len(got); rem < len(b) {
+				b = b[:rem]
+			}
+			if n := batched.NextN(b); n != len(b) {
+				t.Fatalf("NextN returned %d, want %d", n, len(b))
+			}
+			got = append(got, b...)
+		}
+		want := make([]Ref, total)
+		for i := range want {
+			single.Next(&want[i])
+		}
+		if !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ref %d: NextN %+v, Next %+v", i, got[i], want[i])
+				}
+			}
+		}
+		bi, bd, bf := batched.Counts()
+		si, sd, sf := single.(RefSource).Counts()
+		if bi != si || bd != sd || bf != sf {
+			t.Fatalf("counters: NextN (%d,%d,%d), Next (%d,%d,%d)", bi, bd, bf, si, sd, sf)
+		}
+	})
+}

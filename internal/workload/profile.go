@@ -19,21 +19,28 @@ import (
 	"sort"
 )
 
-// Class distinguishes the two benchmark suites.
+// Class distinguishes the benchmark suites.
 type Class uint8
 
-// Benchmark classes.
+// Benchmark classes. Irregular marks the linked-data-structure suite
+// (pointer chasing, hash probing, B-tree walks, service mixes) that
+// extends the paper's eight stride-friendly workloads.
 const (
 	Commercial Class = iota
 	SPEComp
+	Irregular
 )
 
 // String returns the class name.
 func (c Class) String() string {
-	if c == Commercial {
+	switch c {
+	case Commercial:
 		return "commercial"
+	case SPEComp:
+		return "SPEComp"
+	default:
+		return "irregular"
 	}
-	return "SPEComp"
 }
 
 // Profile parameterizes one synthetic benchmark.
@@ -92,6 +99,20 @@ type Profile struct {
 	TargetRatio    float64 // Table 3 cache compression ratio to calibrate to
 	StoreDirtyProb float64 // probability a store changes a block's
 	// compressed size (version bump)
+
+	// Reference-source selection. Kind names the RefSource that builds
+	// this profile's stream ("" = the strided Generator above); the
+	// registry in source.go maps names to factories. Any kind can be
+	// forced onto any profile (sim.Config.RefSource), so the generic
+	// fields above must stay valid for irregular profiles too.
+	Kind string
+
+	// Linked-data-structure parameters, used by the irregular kinds;
+	// zero values take per-kind defaults derived from the working sets.
+	ChaseLen   int    // pointer hops before re-heading at a new list head
+	TreeFanout int    // B-tree branching factor
+	TreeLevels int    // B-tree depth including the leaf level
+	PhaseInstr uint64 // service-mix phase length in instructions
 }
 
 // Validate reports the first configuration error.
@@ -123,6 +144,10 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %s: StoreDirtyProb out of range", p.Name)
 	case p.BurstLen < 0 || (p.BurstLen > 1 && p.BurstGap <= 0):
 		return fmt.Errorf("workload %s: BurstLen needs a positive BurstGap", p.Name)
+	case p.Kind != "" && !SourceRegistered(p.Kind):
+		return fmt.Errorf("workload %s: unknown reference-source kind %q (have %v)", p.Name, p.Kind, SourceNames())
+	case p.ChaseLen < 0 || p.TreeFanout < 0 || p.TreeLevels < 0:
+		return fmt.Errorf("workload %s: linked-structure parameters must be non-negative", p.Name)
 	}
 	return nil
 }
@@ -222,12 +247,56 @@ var profiles = map[string]Profile{
 		HotFrac: 0.03, HotProb: 0.995,
 		TargetRatio: 1.08, StoreDirtyProb: 0.15,
 	},
+
+	// Irregular workloads: linked-data-structure traversals whose next
+	// address is data-dependent (the access classes the pointer-chase
+	// prefetcher literature targets). StridedFrac is 0 — there is no
+	// trainable stride component by construction — but every generic
+	// field stays valid so the strided Generator can be forced onto
+	// these profiles for A/B runs (sim.Config.RefSource = "strided").
+	"ptrchase": {
+		Name: "ptrchase", Class: Irregular, Kind: "ptrchase",
+		BaseCPI: 0.65, MemPer1000: 70, StoreFrac: 0.15, BlockingFrac: 0.90,
+		InstrPerIBlock: 16, IFootprint: 1200, ISeqRun: 8,
+		SharedFrac: 0.05, PrivateWS: 180000, SharedWS: 3000,
+		HotFrac: 0.05, HotProb: 0.60,
+		TargetRatio: 1.55, StoreDirtyProb: 0.25,
+		ChaseLen: 96,
+	},
+	"hashprobe": {
+		Name: "hashprobe", Class: Irregular, Kind: "hashprobe",
+		BaseCPI: 0.60, MemPer1000: 80, StoreFrac: 0.25, BlockingFrac: 0.65,
+		InstrPerIBlock: 16, IFootprint: 1500, ISeqRun: 6,
+		SharedFrac: 0.08, PrivateWS: 140000, SharedWS: 3000,
+		HotFrac: 0.04, HotProb: 0.70,
+		TargetRatio: 1.60, StoreDirtyProb: 0.30,
+		ChaseLen: 4, // mean collision-chain length in blocks
+	},
+	"btree": {
+		Name: "btree", Class: Irregular, Kind: "btree",
+		BaseCPI: 0.62, MemPer1000: 65, StoreFrac: 0.20, BlockingFrac: 0.80,
+		InstrPerIBlock: 16, IFootprint: 1800, ISeqRun: 6,
+		SharedFrac: 0.06, PrivateWS: 160000, SharedWS: 3000,
+		HotFrac: 0.03, HotProb: 0.75,
+		TargetRatio: 1.65, StoreDirtyProb: 0.25,
+		TreeFanout: 16, TreeLevels: 5,
+	},
+	"srvmix": {
+		Name: "srvmix", Class: Irregular, Kind: "srvmix",
+		BaseCPI: 0.60, MemPer1000: 60, StoreFrac: 0.30, BlockingFrac: 0.60,
+		InstrPerIBlock: 16, IFootprint: 2200, ISeqRun: 5,
+		DataShared: true, SharedFrac: 0.10, PrivateWS: 150000, SharedWS: 4000,
+		HotFrac: 0.04, HotProb: 0.80,
+		TargetRatio: 1.50, StoreDirtyProb: 0.30,
+		ChaseLen: 64, PhaseInstr: 200_000,
+	},
 }
 
-// Names returns all benchmark names, commercial first then SPEComp,
-// each group alphabetical (the paper's presentation order uses
-// apache, zeus, oltp, jbb, art, apsi, fma3d, mgrid; PaperOrder gives
-// that exact order).
+// Names returns all benchmark names, commercial first, then SPEComp,
+// then the irregular suite, each group alphabetical (the paper's
+// presentation order uses apache, zeus, oltp, jbb, art, apsi, fma3d,
+// mgrid; PaperOrder gives that exact order, IrregularOrder the
+// irregular suite's).
 func Names() []string {
 	var names []string
 	for n := range profiles {
@@ -248,11 +317,18 @@ func PaperOrder() []string {
 	return []string{"apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"}
 }
 
+// IrregularOrder lists the irregular suite in presentation order:
+// pure pointer chasing first, then the structured traversals, then the
+// phased service mix.
+func IrregularOrder() []string {
+	return []string{"ptrchase", "hashprobe", "btree", "srvmix"}
+}
+
 // ByName returns the named profile.
 func ByName(name string) (Profile, error) {
 	p, ok := profiles[name]
 	if !ok {
-		return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, PaperOrder())
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
 	return p, nil
 }

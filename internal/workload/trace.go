@@ -170,19 +170,36 @@ func (t *TraceReader) NextN(refs []Ref) (int, error) {
 // Count returns the references read so far.
 func (t *TraceReader) Count() uint64 { return t.count }
 
-// Record captures n references from a generator into w.
+// Record captures n references from the profile's own reference source
+// into w.
 func Record(w io.Writer, p Profile, core int, seed int64, n int) error {
+	return RecordSource(w, "", p, core, seed, n)
+}
+
+// RecordSource captures n references from a reference source of the
+// given kind ("" = the profile's own Kind) into w.
+func RecordSource(w io.Writer, kind string, p Profile, core int, seed int64, n int) error {
+	src, err := NewSource(kind, p, core, seed)
+	if err != nil {
+		return err
+	}
 	tw, err := NewTraceWriter(w, p.Name)
 	if err != nil {
 		return err
 	}
-	g := NewGenerator(p, core, seed)
-	var r Ref
-	for i := 0; i < n; i++ {
-		g.Next(&r)
-		if err := tw.Write(r); err != nil {
-			return err
+	refs := make([]Ref, 256)
+	for n > 0 {
+		batch := refs
+		if n < len(batch) {
+			batch = batch[:n]
 		}
+		src.NextN(batch)
+		for i := range batch {
+			if err := tw.Write(batch[i]); err != nil {
+				return err
+			}
+		}
+		n -= len(batch)
 	}
 	return tw.Flush()
 }

@@ -21,10 +21,12 @@ func TestAllProfilesValidate(t *testing.T) {
 
 func TestPaperOrderCoversAll(t *testing.T) {
 	order := PaperOrder()
-	if len(order) != 8 || len(Names()) != 8 {
-		t.Fatalf("benchmark count: order=%d names=%d", len(order), len(Names()))
+	irr := IrregularOrder()
+	if len(order) != 8 || len(irr) != 4 || len(Names()) != len(order)+len(irr) {
+		t.Fatalf("benchmark count: paper=%d irregular=%d names=%d",
+			len(order), len(irr), len(Names()))
 	}
-	for _, n := range order {
+	for _, n := range append(append([]string(nil), order...), irr...) {
 		if _, err := ByName(n); err != nil {
 			t.Errorf("%s: %v", n, err)
 		}
@@ -38,13 +40,15 @@ func TestClassSplit(t *testing.T) {
 	want := map[string]Class{
 		"apache": Commercial, "zeus": Commercial, "oltp": Commercial, "jbb": Commercial,
 		"art": SPEComp, "apsi": SPEComp, "fma3d": SPEComp, "mgrid": SPEComp,
+		"ptrchase": Irregular, "hashprobe": Irregular, "btree": Irregular, "srvmix": Irregular,
 	}
 	for n, c := range want {
 		if got := MustByName(n).Class; got != c {
 			t.Errorf("%s class = %v, want %v", n, got, c)
 		}
 	}
-	if Commercial.String() != "commercial" || SPEComp.String() != "SPEComp" {
+	if Commercial.String() != "commercial" || SPEComp.String() != "SPEComp" ||
+		Irregular.String() != "irregular" {
 		t.Error("class strings")
 	}
 }
